@@ -1,0 +1,275 @@
+#include "bench_util.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <stdexcept>
+
+#include "apps/bicgstab.hpp"
+#include "apps/conv.hpp"
+#include "apps/graph.hpp"
+#include "apps/matadd.hpp"
+#include "apps/pagerank.hpp"
+#include "apps/spmspm.hpp"
+#include "apps/spmv.hpp"
+#include "workloads/datasets.hpp"
+
+namespace capstan::bench {
+
+using namespace capstan::apps;
+using namespace capstan::workloads;
+
+const std::vector<std::string> &
+allApps()
+{
+    static const std::vector<std::string> apps = {
+        "CSR", "COO", "CSC", "Conv", "PR-Pull", "PR-Edge",
+        "BFS", "SSSP", "M+M", "SpMSpM", "BiCGStab"};
+    return apps;
+}
+
+std::vector<std::string>
+datasetsFor(const std::string &app)
+{
+    if (app == "CSR" || app == "COO" || app == "CSC" || app == "M+M" ||
+        app == "BiCGStab") {
+        return linearAlgebraDatasetNames();
+    }
+    if (app == "PR-Pull" || app == "PR-Edge" || app == "BFS" ||
+        app == "SSSP") {
+        return graphDatasetNames();
+    }
+    if (app == "SpMSpM")
+        return spmspmDatasetNames();
+    if (app == "Conv")
+        return convDatasetNames();
+    throw std::invalid_argument("unknown app: " + app);
+}
+
+double
+defaultScale(const std::string &dataset)
+{
+    // Bench-friendly sizes; EXPERIMENTS.md records these. --scale 1
+    // multiplies back toward the published sizes.
+    if (dataset == "ckt11752_dc_1")
+        return 0.25;
+    if (dataset == "Trefethen_20000")
+        return 0.25;
+    if (dataset == "bcsstk30")
+        return 0.08;
+    if (dataset == "usroads-48")
+        return 0.08;
+    if (dataset == "web-Stanford")
+        return 0.05;
+    if (dataset == "flickr")
+        return 0.02;
+    if (dataset == "p2p-Gnutella31")
+        return 0.35;
+    if (dataset.rfind("ResNet", 0) == 0)
+        return 0.12;
+    return 1.0; // SpMSpM datasets are tiny already.
+}
+
+namespace {
+
+struct DatasetKey
+{
+    std::string name;
+    long scale_milli;
+    bool operator<(const DatasetKey &o) const
+    {
+        return std::tie(name, scale_milli) <
+               std::tie(o.name, o.scale_milli);
+    }
+};
+
+const MatrixDataset &
+cachedMatrix(const std::string &name, double scale)
+{
+    static std::map<DatasetKey, MatrixDataset> cache;
+    DatasetKey key{name, std::lround(scale * 1000)};
+    auto it = cache.find(key);
+    if (it == cache.end())
+        it = cache.emplace(key, loadMatrixDataset(name, scale)).first;
+    return it->second;
+}
+
+const ConvDataset &
+cachedConv(const std::string &name, double scale)
+{
+    static std::map<DatasetKey, ConvDataset> cache;
+    DatasetKey key{name, std::lround(scale * 1000)};
+    auto it = cache.find(key);
+    if (it == cache.end())
+        it = cache.emplace(key, loadConvDataset(name, scale)).first;
+    return it->second;
+}
+
+sparse::DenseVector
+denseInput(Index n)
+{
+    sparse::DenseVector v(n);
+    for (Index i = 0; i < n; ++i)
+        v[i] = 0.25f + 0.5f * ((i * 2654435761u) % 1024) / 1024.0f;
+    return v;
+}
+
+} // namespace
+
+CapstanConfig
+weakScaled(CapstanConfig cfg, int tiles)
+{
+    if (cfg.dram.tech == sim::MemTech::Ideal)
+        return cfg;
+    double fraction =
+        std::min(1.0, static_cast<double>(tiles) /
+                          cfg.grid_compute_units);
+    double base = cfg.dram.bandwidth_override_gbps > 0
+                      ? cfg.dram.bandwidth_override_gbps
+                      : sim::memTechBandwidth(cfg.dram.tech);
+    cfg.dram.bandwidth_override_gbps = base * fraction;
+    return cfg;
+}
+
+AppTiming
+runApp(const std::string &app, const std::string &dataset,
+       const CapstanConfig &cfg, const RunOptions &opts)
+{
+    double scale = defaultScale(dataset) * opts.scale_mult;
+    if (app == "Conv") {
+        const ConvDataset &d = cachedConv(dataset, scale);
+        return runConv(d.layer, cfg, opts.tiles).timing;
+    }
+    const MatrixDataset &d = cachedMatrix(dataset, scale);
+    const sparse::CsrMatrix &m = d.matrix;
+    if (app == "CSR")
+        return runSpmvCsr(m, denseInput(m.cols()), cfg, opts.tiles)
+            .timing;
+    if (app == "COO")
+        return runSpmvCoo(m, denseInput(m.cols()), cfg, opts.tiles)
+            .timing;
+    if (app == "CSC") {
+        // The paper uses a 30%-dense input vector for CSC SpMV.
+        auto v = sparseVector(m.cols(), 0.30, 0xCEC);
+        return runSpmvCsc(m, v, cfg, opts.tiles).timing;
+    }
+    if (app == "PR-Pull")
+        return runPageRankPull(m, opts.iterations, cfg, opts.tiles)
+            .timing;
+    if (app == "PR-Edge")
+        return runPageRankEdge(m, opts.iterations, cfg, opts.tiles)
+            .timing;
+    if (app == "BFS")
+        return runBfs(m, 0, cfg, opts.tiles, opts.write_pointers)
+            .timing;
+    if (app == "SSSP")
+        return runSssp(m, 0, cfg, opts.tiles, opts.write_pointers)
+            .timing;
+    if (app == "M+M") {
+        // Add the dataset to its transpose: same dimensions and
+        // density, different (but correlated) occupancy.
+        static std::map<DatasetKey, sparse::CsrMatrix> tcache;
+        DatasetKey key{dataset, std::lround(scale * 1000)};
+        auto it = tcache.find(key);
+        if (it == tcache.end())
+            it = tcache.emplace(key, m.transpose()).first;
+        return runMatAdd(m, it->second, cfg, opts.tiles,
+                         opts.use_bittree)
+            .timing;
+    }
+    if (app == "SpMSpM")
+        return runSpmspm(m, m, cfg, opts.tiles).timing;
+    if (app == "BiCGStab")
+        return runBicgstab(m, denseInput(m.rows()), opts.iterations,
+                           cfg, opts.tiles)
+            .timing;
+    throw std::invalid_argument("unknown app: " + app);
+}
+
+double
+seconds(const AppTiming &t)
+{
+    return t.runtime_ms / 1000.0;
+}
+
+RunOptions
+parseArgs(int argc, char **argv)
+{
+    RunOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc)
+            opts.scale_mult = std::atof(argv[++i]);
+        else if (std::strcmp(argv[i], "--tiles") == 0 && i + 1 < argc)
+            opts.tiles = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--iterations") == 0 &&
+                 i + 1 < argc)
+            opts.iterations = std::atoi(argv[++i]);
+    }
+    return opts;
+}
+
+double
+gmean(const std::vector<double> &values)
+{
+    double log_sum = 0;
+    int n = 0;
+    for (double v : values) {
+        if (v > 0) {
+            log_sum += std::log(v);
+            ++n;
+        }
+    }
+    return n == 0 ? 0.0 : std::exp(log_sum / n);
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TablePrinter::addRow(const std::vector<std::string> &cells)
+{
+    rows_.push_back(cells);
+}
+
+void
+TablePrinter::print() const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size() && c < width.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+    auto printRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < width.size(); ++c) {
+            std::string cell = c < row.size() ? row[c] : "";
+            std::cout << (c == 0 ? "" : "  ");
+            std::cout << cell
+                      << std::string(width[c] - cell.size(), ' ');
+        }
+        std::cout << "\n";
+    };
+    printRow(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c == 0 ? 0 : 2);
+    std::cout << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        printRow(row);
+}
+
+std::string
+TablePrinter::num(std::optional<double> v, int precision)
+{
+    if (!v.has_value())
+        return "-";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, *v);
+    return buf;
+}
+
+} // namespace capstan::bench

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Shared infrastructure for the benchmark harness: a uniform runner over
+ * (application, dataset, configuration) triples, a dataset cache, and a
+ * plain-text table printer. One binary per paper table/figure links this
+ * library (see DESIGN.md #2 for the experiment index).
+ *
+ * Every binary accepts an optional `--scale <f>` argument multiplying
+ * the default dataset scales (1.0 reproduces Table 6's published sizes;
+ * the defaults keep the full harness within laptop wall-times and are
+ * recorded in EXPERIMENTS.md).
+ */
+
+#ifndef CAPSTAN_BENCH_UTIL_HPP
+#define CAPSTAN_BENCH_UTIL_HPP
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/common.hpp"
+#include "sim/config.hpp"
+
+namespace capstan::bench {
+
+using apps::AppTiming;
+using sim::CapstanConfig;
+
+/** The eleven application columns, in Table 12 order. */
+const std::vector<std::string> &allApps();
+
+/** Table 6 datasets evaluated for @p app (paper order). */
+std::vector<std::string> datasetsFor(const std::string &app);
+
+/**
+ * Default generation scale for a dataset in bench runs (relative to the
+ * published size; multiplied by the CLI --scale factor).
+ */
+double defaultScale(const std::string &dataset);
+
+/** Extra knobs a run can adjust. */
+struct RunOptions
+{
+    int tiles = 16;
+    int iterations = 2;  //!< PageRank / BiCGStab iterations.
+    double scale_mult = 1.0;
+    bool write_pointers = true; //!< BFS/SSSP back pointers.
+    bool use_bittree = true;    //!< M+M row format.
+};
+
+/**
+ * Weak-scale the DRAM system to the simulated chip slice: a run with
+ * @p tiles tiles models tiles/200 of the full 200-unit chip, receiving
+ * the same fraction of the configured memory bandwidth. Not applied by
+ * default (the bench runs use the full memory system, documented in
+ * EXPERIMENTS.md); available for scaling experiments.
+ */
+CapstanConfig weakScaled(CapstanConfig cfg, int tiles);
+
+/**
+ * Run @p app on @p dataset under @p cfg; returns its timing. Datasets
+ * are generated once per (name, scale) and cached across calls.
+ */
+AppTiming runApp(const std::string &app, const std::string &dataset,
+                 const CapstanConfig &cfg, const RunOptions &opts = {});
+
+/** Seconds for a timing at the configuration's clock. */
+double seconds(const AppTiming &t);
+
+/** Parse `--scale <f>` (and `--tiles <n>`) from argv. */
+RunOptions parseArgs(int argc, char **argv);
+
+/** Geometric mean of positive values (non-positive entries skipped). */
+double gmean(const std::vector<double> &values);
+
+/** Minimal fixed-width table printer. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    void addRow(const std::vector<std::string> &cells);
+    void print() const;
+
+    /** Format helper: fixed-precision double, or "-" when absent. */
+    static std::string num(std::optional<double> v, int precision = 2);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace capstan::bench
+
+#endif // CAPSTAN_BENCH_UTIL_HPP

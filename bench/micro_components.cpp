@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator's hot components:
+ * how fast the host can evaluate the separable allocator, step a
+ * saturated SpMU, scan bit-vectors, and route shuffle traffic. These
+ * gate simulator performance (a full Table 12 sweep is ~10^8 allocator
+ * evaluations), not modeled hardware performance.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "sim/allocator.hpp"
+#include "sim/compression.hpp"
+#include "sim/scanner.hpp"
+#include "sim/shuffle.hpp"
+#include "sim/spmu.hpp"
+
+using namespace capstan;
+namespace sim = capstan::sim;
+
+namespace {
+
+void
+BM_SeparableAllocator(benchmark::State &state)
+{
+    sim::SeparableAllocator alloc(16, 16,
+                                  static_cast<int>(state.range(0)));
+    std::mt19937 rng(1);
+    std::vector<sim::RequestMatrix> mats(3);
+    for (auto &m : mats) {
+        for (int l = 0; l < 16; ++l)
+            m[l] = rng() & 0xFFFF;
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(alloc.allocate(mats));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SeparableAllocator)->Arg(1)->Arg(3);
+
+void
+BM_SpmuStep(benchmark::State &state)
+{
+    sim::SpmuConfig cfg;
+    cfg.queue_depth = static_cast<int>(state.range(0));
+    sim::SparseMemoryUnit spmu(cfg);
+    std::mt19937 rng(2);
+    std::uint64_t id = 0;
+    for (auto _ : state) {
+        sim::AccessVector av;
+        av.id = id++;
+        for (int l = 0; l < 16; ++l) {
+            av.lane[l].valid = true;
+            av.lane[l].addr = rng();
+        }
+        spmu.tryEnqueue(av);
+        spmu.step();
+        while (spmu.tryDequeue()) {
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_SpmuStep)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_ScannerBitVectors(benchmark::State &state)
+{
+    sim::ScannerConfig cfg;
+    cfg.window_bits = static_cast<int>(state.range(0));
+    sim::ScannerModel model(cfg);
+    sparse::BitVector a(1 << 16);
+    sparse::BitVector b(1 << 16);
+    std::mt19937 rng(3);
+    for (Index i = 0; i < a.size(); i += 1 + rng() % 64) {
+        a.set(i);
+        if (rng() % 2)
+            b.set(i);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            model.scanBitVectors(a, b, sim::ScanMode::Union));
+    }
+    state.SetBytesProcessed(state.iterations() * (a.size() / 8));
+}
+BENCHMARK(BM_ScannerBitVectors)->Arg(256)->Arg(512);
+
+void
+BM_ShuffleStep(benchmark::State &state)
+{
+    sim::ShuffleConfig cfg;
+    cfg.ports = 16;
+    sim::ShuffleNetwork net(cfg);
+    std::mt19937 rng(4);
+    std::uint64_t id = 0;
+    for (auto _ : state) {
+        sim::ShuffleVector v;
+        v.src_port = static_cast<int>(id % 16);
+        v.id = id++;
+        for (int l = 0; l < 16; ++l) {
+            v.valid[l] = true;
+            v.dst_port[l] = static_cast<int>(rng() % 16);
+            v.src_lane[l] = l;
+        }
+        net.tryInject(v.src_port, v);
+        net.step();
+        for (int p = 0; p < 16; ++p) {
+            while (net.tryEject(p)) {
+            }
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShuffleStep);
+
+void
+BM_BurstCompression(benchmark::State &state)
+{
+    std::vector<std::uint32_t> words(1 << 14);
+    std::mt19937 rng(5);
+    std::uint32_t base = 100000;
+    for (auto &w : words)
+        w = base + rng() % 256;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim::compressStream(words));
+    }
+    state.SetBytesProcessed(state.iterations() * words.size() * 4);
+}
+BENCHMARK(BM_BurstCompression);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Table 9: application sensitivity to the SpMU architecture. Runtimes
+ * normalized to Capstan's allocated design with address hashing:
+ * Ideal (no bank conflicts), Capstan {hash, linear}, weak allocator
+ * {hash, linear}, arbitrated {hash, linear}.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hpp"
+
+using namespace capstan::bench;
+namespace sim = capstan::sim;
+using sim::CapstanConfig;
+using sim::MemTech;
+
+namespace {
+
+const std::map<std::string, std::array<double, 7>> &
+paperRows()
+{
+    // Columns: Ideal, Hash, Lin, WeakHash, WeakLin, ArbHash, ArbLin.
+    static const std::map<std::string, std::array<double, 7>> rows = {
+        {"CSR", {0.97, 1.00, 1.06, 1.29, 1.35, 1.31, 1.59}},
+        {"COO", {0.89, 1.00, 1.06, 1.20, 1.30, 1.27, 1.58}},
+        {"CSC", {0.98, 1.00, 1.02, 1.08, 1.13, 1.13, 1.39}},
+        {"Conv", {0.78, 1.00, 2.44, 1.39, 2.88, 1.90, 3.52}},
+        {"PR-Pull", {0.98, 1.00, 1.00, 1.11, 1.11, 1.33, 1.33}},
+        {"PR-Edge", {0.76, 1.00, 0.93, 1.14, 1.10, 1.28, 1.23}},
+        {"BFS", {0.96, 1.00, 1.16, 1.06, 1.18, 1.13, 1.26}},
+        {"SSSP", {1.00, 1.00, 1.00, 1.00, 1.01, 1.04, 1.04}},
+        {"M+M", {1.00, 1.00, 1.01, 1.00, 1.00, 1.00, 1.00}},
+        {"SpMSpM", {0.98, 1.00, 0.97, 1.07, 1.02, 1.22, 1.02}},
+        {"BiCGStab", {0.91, 1.00, 1.06, 1.34, 1.48, 1.55, 2.14}},
+    };
+    return rows;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    RunOptions opts = parseArgs(argc, argv);
+
+    std::printf("Table 9: sensitivity to SpMU architecture "
+                "(runtime normalized to Capstan+hash; ours / paper)\n\n");
+
+    struct Variant
+    {
+        std::string name;
+        bool ideal;
+        sim::AllocatorKind alloc;
+        sim::Ordering ordering;
+        sim::BankHash hash;
+    };
+    const std::vector<Variant> variants = {
+        {"Ideal", true, sim::AllocatorKind::Full,
+         sim::Ordering::Unordered, sim::BankHash::Xor},
+        {"Hash", false, sim::AllocatorKind::Full,
+         sim::Ordering::Unordered, sim::BankHash::Xor},
+        {"Lin.", false, sim::AllocatorKind::Full,
+         sim::Ordering::Unordered, sim::BankHash::Linear},
+        {"WeakHash", false, sim::AllocatorKind::Weak,
+         sim::Ordering::Unordered, sim::BankHash::Xor},
+        {"WeakLin", false, sim::AllocatorKind::Weak,
+         sim::Ordering::Unordered, sim::BankHash::Linear},
+        {"ArbHash", false, sim::AllocatorKind::Full,
+         sim::Ordering::Arbitrated, sim::BankHash::Xor},
+        {"ArbLin", false, sim::AllocatorKind::Full,
+         sim::Ordering::Arbitrated, sim::BankHash::Linear},
+    };
+
+    TablePrinter table({"App", "Ideal", "Hash", "Lin.", "Weak-H",
+                        "Weak-L", "Arb-H", "Arb-L"});
+    std::vector<std::vector<double>> columns(variants.size());
+    for (const auto &app : allApps()) {
+        // One representative dataset per app (the first of its family)
+        // keeps the 77-run sweep tractable; --scale trades fidelity.
+        std::string ds = datasetsFor(app)[0];
+        std::vector<double> times;
+        for (const auto &v : variants) {
+            CapstanConfig cfg = CapstanConfig::capstan(MemTech::HBM2E);
+            cfg.spmu.ideal = v.ideal;
+            cfg.spmu.allocator = v.alloc;
+            cfg.spmu.ordering = v.ordering;
+            cfg.spmu.hash = v.hash;
+            std::fprintf(stderr, "  %s / %s...\n", app.c_str(),
+                         v.name.c_str());
+            times.push_back(seconds(runApp(app, ds, cfg, opts)));
+        }
+        double base = times[1]; // Capstan + hash.
+        std::vector<std::string> row = {app};
+        const auto &paper = paperRows().at(app);
+        for (std::size_t i = 0; i < times.size(); ++i) {
+            double norm = times[i] / base;
+            columns[i].push_back(norm);
+            row.push_back(TablePrinter::num(norm, 2) + " / " +
+                          TablePrinter::num(paper[i], 2));
+        }
+        table.addRow(row);
+    }
+    std::vector<std::string> grow = {"gmean"};
+    const std::array<double, 7> paper_gmean = {0.92, 1.00, 1.11, 1.15,
+                                               1.26, 1.27, 1.44};
+    for (std::size_t i = 0; i < columns.size(); ++i)
+        grow.push_back(TablePrinter::num(gmean(columns[i]), 2) + " / " +
+                       TablePrinter::num(paper_gmean[i], 2));
+    table.addRow(grow);
+    table.print();
+    return 0;
+}

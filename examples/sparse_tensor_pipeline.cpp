@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Sparse tensor algebra on Capstan: Gustavson SpMSpM and bit-tree
+ * matrix addition, the two kernels that exercise vectorized
+ * sparse-sparse iteration (Sections 2.3-2.4).
+ *
+ * Computes C = A*B followed by D = C + C^T, verifying both against
+ * references, and demonstrates why the bit-tree format matters: the
+ * same addition with flat bit-vector rows wastes scanner cycles on
+ * zero windows.
+ *
+ *   $ ./build/examples/sparse_tensor_pipeline
+ */
+
+#include <cstdio>
+
+#include "apps/matadd.hpp"
+#include "apps/spmspm.hpp"
+#include "workloads/synth.hpp"
+
+using namespace capstan;
+using namespace capstan::apps;
+namespace sim = capstan::sim;
+
+int
+main()
+{
+    sim::CapstanConfig cfg =
+        sim::CapstanConfig::capstan(sim::MemTech::HBM2E);
+
+    // --- Stage 1: SpMSpM, C = A * B (row-based Gustavson). Very
+    // sparse operands give C rows under 1% density - exactly where
+    // Section 2.3 says flat bit-vectors break down.
+    auto a = workloads::uniformRandomMatrix(4096, 4096, 0.0015, 3);
+    auto b = workloads::uniformRandomMatrix(4096, 4096, 0.0015, 5);
+    SpmspmResult mm = runSpmspm(a, b, cfg, 8);
+    auto want_c = spmspmReference(a, b);
+    bool mm_ok = mm.product.colIdx() == want_c.colIdx();
+    std::printf("SpMSpM: (%d x %d, %d nnz) * (%d nnz) -> %d nnz "
+                "[%s], %llu cycles\n",
+                a.rows(), a.cols(), a.nnz(), b.nnz(),
+                mm.product.nnz(), mm_ok ? "verified" : "MISMATCH",
+                static_cast<unsigned long long>(mm.timing.cycles));
+
+    // --- Stage 2: M+M, D = C + C^T with bit-tree iteration.
+    auto ct = mm.product.transpose();
+    MatAddResult add_tree = runMatAdd(mm.product, ct, cfg, 8, true);
+    auto want_d = matAddReference(mm.product, ct);
+    bool add_ok = add_tree.sum.colIdx() == want_d.colIdx();
+    std::printf("M+M   : %d nnz + %d nnz -> %d nnz [%s], %llu "
+                "cycles (bit-tree)\n",
+                mm.product.nnz(), ct.nnz(), add_tree.sum.nnz(),
+                add_ok ? "verified" : "MISMATCH",
+                static_cast<unsigned long long>(
+                    add_tree.timing.cycles));
+
+    // --- The format ablation on an extremely sparse operand (a
+    // circuit matrix: ~7 non-zeros per 30,000-column row). Flat
+    // bit-vector rows make the scanner walk >100 zero windows per row;
+    // two-level bit-trees skip the empty leaves (Section 2.3).
+    auto e = workloads::circuitMatrix(30000, 200000, 9);
+    auto et = e.transpose();
+    MatAddResult abl_tree = runMatAdd(e, et, cfg, 8, true);
+    MatAddResult abl_flat = runMatAdd(e, et, cfg, 8, false);
+    std::printf("\nFormat ablation on a %.3f%%-dense circuit "
+                "matrix:\n",
+                100.0 * e.nnz() / e.rows() / e.cols());
+    std::printf("  bit-tree rows   : %llu cycles\n",
+                static_cast<unsigned long long>(
+                    abl_tree.timing.cycles));
+    std::printf("  flat bit-vectors: %llu cycles (%.1fx slower; "
+                "%.0f cycles on zero windows)\n",
+                static_cast<unsigned long long>(
+                    abl_flat.timing.cycles),
+                static_cast<double>(abl_flat.timing.cycles) /
+                    abl_tree.timing.cycles,
+                abl_flat.timing.totals.scan_empty_cycles);
+
+    return mm_ok && add_ok ? 0 : 1;
+}

@@ -1,0 +1,175 @@
+#include "apps/bicgstab.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/spmv.hpp"
+#include "workloads/tiling.hpp"
+
+namespace capstan::apps {
+
+using workloads::Tiling;
+
+namespace {
+
+double
+dot(const DenseVector &a, const DenseVector &b)
+{
+    double s = 0;
+    for (Index i = 0; i < a.size(); ++i)
+        s += static_cast<double>(a[i]) * b[i];
+    return s;
+}
+
+double
+norm(const DenseVector &a)
+{
+    return std::sqrt(dot(a, a));
+}
+
+/** One unpreconditioned BiCGStab pass; returns x and final residual. */
+std::pair<DenseVector, double>
+bicgstabSolve(const CsrMatrix &m, const DenseVector &b, int iterations)
+{
+    Index n = m.rows();
+    DenseVector x(n, 0);
+    DenseVector r = b; // r = b - A*0.
+    DenseVector r0 = r;
+    DenseVector p = r;
+    double rho = dot(r0, r);
+    for (int it = 0; it < iterations; ++it) {
+        if (std::abs(rho) < 1e-30)
+            break;
+        DenseVector v = spmvReference(m, p);
+        double alpha = rho / dot(r0, v);
+        DenseVector s(n);
+        for (Index i = 0; i < n; ++i)
+            s[i] = r[i] - static_cast<Value>(alpha) * v[i];
+        DenseVector t = spmvReference(m, s);
+        double tt = dot(t, t);
+        double omega = tt > 0 ? dot(t, s) / tt : 0.0;
+        for (Index i = 0; i < n; ++i) {
+            x[i] += static_cast<Value>(alpha) * p[i] +
+                    static_cast<Value>(omega) * s[i];
+            r[i] = s[i] - static_cast<Value>(omega) * t[i];
+        }
+        double rho_next = dot(r0, r);
+        double beta = (rho_next / rho) * (alpha / omega);
+        for (Index i = 0; i < n; ++i)
+            p[i] = r[i] + static_cast<Value>(beta) *
+                              (p[i] - static_cast<Value>(omega) * v[i]);
+        rho = rho_next;
+    }
+    DenseVector ax = spmvReference(m, x);
+    DenseVector resid(n);
+    for (Index i = 0; i < n; ++i)
+        resid[i] = b[i] - ax[i];
+    return {x, norm(resid)};
+}
+
+} // namespace
+
+DenseVector
+bicgstabReference(const CsrMatrix &m, const DenseVector &b,
+                  int iterations)
+{
+    return bicgstabSolve(m, b, iterations).first;
+}
+
+BicgstabResult
+runBicgstab(const CsrMatrix &m, const DenseVector &b, int iterations,
+            const CapstanConfig &cfg, int tiles)
+{
+    BicgstabResult res;
+    auto [x, resid] = bicgstabSolve(m, b, iterations);
+    res.x = std::move(x);
+    res.residual_norm = resid;
+    res.iterations_run = iterations;
+
+    Machine mach(cfg, tiles);
+    if (cfg.dram.compression)
+        mach.setStreamCompression(
+            streamCompressionRatio(m.colIdx(), 0.5));
+    Tiling tiling = Tiling::roundRobin(m.rows(), tiles);
+    Index rows_per_tile = (m.rows() + tiles - 1) / tiles;
+
+    // The fused pipeline streams the matrix from DRAM twice per
+    // iteration (v = A*p and t = A*s); every vector op and reduction
+    // stays on-chip, chained behind the SpMV in the same phase.
+    auto feedSpmvPhase = [&]() {
+        mach.resetChains();
+        for (int t = 0; t < tiles; ++t) {
+            mach.addStage(t, {StageKind::DramStream, 1});
+            mach.addStage(
+                t, {StageKind::SpmuCross, 1, sim::AccessOp::Read});
+            mach.addStage(t, {StageKind::Map, kMapLatency});
+            mach.addStage(t, {StageKind::Reduce, kMapLatency});
+            // Fused vector updates consume the SpMV output in place of
+            // a DRAM round-trip.
+            mach.addStage(t, {StageKind::Map, kMapLatency});
+            mach.addStage(t, {StageKind::Sink});
+        }
+        for (int t = 0; t < tiles; ++t) {
+            for (Index r : tiling.rowsOf(t)) {
+                auto idx = m.rowIndices(r);
+                Index len = static_cast<Index>(idx.size());
+                if (len == 0) {
+                    Token tok;
+                    tok.valid_mask = 0;
+                    tok.bytes = 4;
+                    tok.end_group = true;
+                    mach.feed(t, tok);
+                    continue;
+                }
+                emitChunks(len, [&](Index base, int lanes) {
+                    Token tok = Token::compute(lanes);
+                    tok.has_addr = true;
+                    tok.bytes = 8 * lanes + (base == 0 ? 4 : 0);
+                    tok.end_group = base + lanes >= len;
+                    for (int l = 0; l < lanes; ++l) {
+                        Index c = idx[base + l];
+                        tok.addr[l] = static_cast<std::uint32_t>(
+                            c % rows_per_tile);
+                        tok.lane_tile[l] = static_cast<std::int8_t>(
+                            std::min<Index>(tiles - 1,
+                                            c / rows_per_tile));
+                    }
+                    mach.feed(t, tok);
+                });
+            }
+        }
+        mach.runPhase();
+    };
+
+    // On-chip vector phase: dots and axpys over the tile's rows.
+    auto feedVectorPhase = [&](int chained_ops) {
+        mach.resetChains();
+        for (int t = 0; t < tiles; ++t) {
+            for (int k = 0; k < chained_ops; ++k)
+                mach.addStage(t, {StageKind::Map, kMapLatency});
+            mach.addStage(t, {StageKind::Reduce, kMapLatency});
+            mach.addStage(t, {StageKind::Sink});
+        }
+        for (int t = 0; t < tiles; ++t) {
+            Index rows_here =
+                static_cast<Index>(tiling.rowsOf(t).size());
+            emitChunks(rows_here, [&](Index base, int lanes) {
+                Token tok = Token::compute(lanes);
+                tok.end_group = base + lanes >= rows_here;
+                mach.feed(t, tok);
+            });
+        }
+        mach.runPhase();
+    };
+
+    for (int it = 0; it < iterations; ++it) {
+        feedSpmvPhase();   // v = A p (+ alpha reduction).
+        feedVectorPhase(2); // s = r - alpha v, partial dots.
+        feedSpmvPhase();   // t = A s.
+        feedVectorPhase(3); // omega dots, x and r updates, next p.
+    }
+    res.timing.finish(mach);
+    return res;
+}
+
+} // namespace capstan::apps

@@ -1,0 +1,38 @@
+#include "apps/common.hpp"
+
+#include <cmath>
+
+#include "sim/compression.hpp"
+
+namespace capstan::apps {
+
+double
+relativeError(const std::vector<Value> &got,
+              const std::vector<Value> &want)
+{
+    if (got.size() != want.size())
+        return 1e30;
+    double num = 0.0;
+    double den = 1e-30;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        double d = static_cast<double>(got[i]) - want[i];
+        num += d * d;
+        den += static_cast<double>(want[i]) * want[i];
+    }
+    return std::sqrt(num / den);
+}
+
+double
+streamCompressionRatio(std::span<const Index> pointers,
+                       double pointer_fraction)
+{
+    if (pointers.empty() || pointer_fraction <= 0.0)
+        return 1.0;
+    double ptr_ratio = sim::compressPointerStream(pointers).ratio();
+    // Amdahl over the byte mix: pointers shrink, values do not.
+    double effective =
+        1.0 / (pointer_fraction / ptr_ratio + (1.0 - pointer_fraction));
+    return std::max(1.0, effective);
+}
+
+} // namespace capstan::apps

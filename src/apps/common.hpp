@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared types and helpers for the Capstan applications (Table 2).
+ *
+ * Every application follows the same co-simulation pattern (DESIGN.md
+ * #3): execute functionally on the host (producing real, testable
+ * results) while lowering each tile's work to a linear stage chain fed
+ * with vector-granularity tokens; the Machine then supplies the timing.
+ */
+
+#ifndef CAPSTAN_APPS_COMMON_HPP
+#define CAPSTAN_APPS_COMMON_HPP
+
+#include <span>
+#include <string>
+
+#include "lang/machine.hpp"
+#include "sim/config.hpp"
+#include "sim/dram.hpp"
+
+namespace capstan::apps {
+
+using lang::Machine;
+using lang::StageKind;
+using lang::StageSpec;
+using lang::Token;
+using sim::CapstanConfig;
+using sim::Cycle;
+
+/** Default outer parallelism when the caller does not specify one. */
+constexpr int kDefaultTiles = 16;
+
+/** Latency of a vectorized arithmetic stage (CU pipeline depth). */
+constexpr Cycle kMapLatency = 4;
+
+/** Timing outcome of one application run. */
+struct AppTiming
+{
+    Cycle cycles = 0;              //!< Total simulated cycles.
+    lang::RunTotals totals;        //!< Stall-statistic inputs (Fig. 7).
+    sim::DramStats dram;           //!< Off-chip traffic.
+    sim::SpmuStats spmu;           //!< On-chip memory behaviour.
+    double runtime_ms = 0;         //!< cycles / clock.
+
+    void finish(Machine &m)
+    {
+        cycles = m.totals().cycles;
+        totals = m.totals();
+        dram = m.dram().stats();
+        spmu = m.spmuTotals();
+        runtime_ms = static_cast<double>(cycles) /
+                     (m.config().clock_ghz * 1e6);
+    }
+};
+
+/**
+ * Chunk @p count work items into 16-lane tokens and hand each to
+ * @p emit. The last token may be partial.
+ */
+template <typename EmitFn>
+void
+emitChunks(Index count, EmitFn &&emit)
+{
+    for (Index base = 0; base < count; base += sim::kMaxLanes) {
+        int lanes = static_cast<int>(
+            std::min<Index>(sim::kMaxLanes, count - base));
+        emit(base, lanes);
+    }
+}
+
+/** Relative L2 error between two value arrays. */
+double relativeError(const std::vector<Value> &got,
+                     const std::vector<Value> &want);
+
+/**
+ * Effective whole-stream compression ratio when @p pointer_fraction of
+ * the app's DRAM bytes are the given pointer array (compressed with the
+ * base/offset burst code, Section 3.4) and the rest is incompressible
+ * data. Used to parameterize Machine::setStreamCompression.
+ */
+double streamCompressionRatio(std::span<const Index> pointers,
+                              double pointer_fraction);
+
+} // namespace capstan::apps
+
+#endif // CAPSTAN_APPS_COMMON_HPP

@@ -1,0 +1,188 @@
+#include "apps/conv.hpp"
+
+#include <algorithm>
+
+namespace capstan::apps {
+
+sparse::DenseTensor3
+convReference(const ConvLayer &layer)
+{
+    Index dim = layer.dim;
+    Index pad = layer.kdim / 2;
+    sparse::DenseTensor3 out(layer.out_channels, dim, dim);
+    for (Index ic = 0; ic < layer.in_channels; ++ic) {
+        for (Index r = 0; r < dim; ++r) {
+            for (Index c = 0; c < dim; ++c) {
+                Value a = layer.activations(ic, r, c);
+                if (a == Value{0})
+                    continue;
+                for (Index kr = 0; kr < layer.kdim; ++kr) {
+                    for (Index kc = 0; kc < layer.kdim; ++kc) {
+                        Index orow = r + kr - pad;
+                        Index ocol = c + kc - pad;
+                        if (orow < 0 || orow >= dim || ocol < 0 ||
+                            ocol >= dim) {
+                            continue;
+                        }
+                        for (Index oc = 0; oc < layer.out_channels;
+                             ++oc) {
+                            Value w = layer.kernel(kr, kc, ic, oc);
+                            if (w != Value{0})
+                                out(oc, orow, ocol) += a * w;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+ConvResult
+runConv(const ConvLayer &layer, const CapstanConfig &cfg, int tiles)
+{
+    ConvResult res;
+    res.out = convReference(layer);
+
+    Index dim = layer.dim;
+    Index pad = layer.kdim / 2;
+    Index rows_per_tile = (dim + tiles - 1) / tiles;
+
+    // Pre-collect the kernel's non-zeros per input channel (loop 2 is
+    // dense over nnz(K[iC])).
+    struct KernelNz
+    {
+        Index kr, kc, oc;
+    };
+    std::vector<std::vector<KernelNz>> knz(layer.in_channels);
+    for (Index kr = 0; kr < layer.kdim; ++kr) {
+        for (Index kc = 0; kc < layer.kdim; ++kc) {
+            for (Index ic = 0; ic < layer.in_channels; ++ic) {
+                for (Index oc = 0; oc < layer.out_channels; ++oc) {
+                    if (layer.kernel(kr, kc, ic, oc) != Value{0})
+                        knz[ic].push_back({kr, kc, oc});
+                }
+            }
+        }
+    }
+
+    Machine mach(cfg, tiles);
+
+    // Phase 0: broadcast the pruned kernel on-chip (8 B per stored
+    // weight, split across tiles by the multicast network).
+    Index64 kernel_bytes = 8 * layer.kernel.nnz();
+    for (int t = 0; t < tiles; ++t) {
+        mach.addStage(t, {StageKind::DramStream, 1});
+        mach.addStage(t, {StageKind::Sink});
+        Index64 share = kernel_bytes / tiles;
+        while (share > 0) {
+            Token tok = Token::compute(16);
+            tok.bytes = static_cast<std::uint32_t>(
+                std::min<Index64>(share, 4096));
+            share -= tok.bytes;
+            mach.feed(t, tok);
+        }
+    }
+    mach.runPhase();
+
+    mach.resetChains();
+    for (int t = 0; t < tiles; ++t) {
+        // Stream + data-scan activations (loop 1 is an outer loop,
+        // where the one-output data scanner suffices, Section 3.3) ->
+        // read kernel non-zeros on-chip -> multiply -> scatter atomic
+        // accumulations (halo lanes cross tiles).
+        mach.addStage(t, {StageKind::DramStream, 1});
+        mach.addStage(t, {StageKind::DataScan, 1});
+        mach.addStage(t, {StageKind::Spmu, 1, sim::AccessOp::Read});
+        mach.addStage(t, {StageKind::Map, kMapLatency});
+        mach.addStage(t,
+                      {StageKind::SpmuCross, 1, sim::AccessOp::AddF32});
+        mach.addStage(t, {StageKind::Sink});
+    }
+
+    // Each tile owns a band of input (= output) rows; scan positions are
+    // in the tile's local flattened activation space.
+    for (int t = 0; t < tiles; ++t) {
+        Index r_begin = t * rows_per_tile;
+        Index r_end = std::min<Index>(dim, r_begin + rows_per_tile);
+        Index gap = 0; // Activation elements scanned since last nnz.
+        for (Index ic = 0; ic < layer.in_channels; ++ic) {
+            const auto &ks = knz[ic];
+            for (Index r = r_begin; r < r_end; ++r) {
+                for (Index c = 0; c < dim; ++c) {
+                    ++gap;
+                    Value a = layer.activations(ic, r, c);
+                    if (a == Value{0})
+                        continue;
+                    Index this_gap = gap;
+                    gap = 0;
+                    if (ks.empty())
+                        continue;
+                    bool first = true;
+                    emitChunks(static_cast<Index>(ks.size()),
+                               [&](Index base, int lanes) {
+                        Token tok = Token::compute(lanes);
+                        tok.has_addr = true;
+                        // The activation value + coordinates stream in
+                        // with the first chunk.
+                        tok.bytes = first ? 8 : 0;
+                        tok.scan_elems =
+                            first
+                                ? static_cast<std::int32_t>(this_gap)
+                                : 0;
+                        first = false;
+                        for (int l = 0; l < lanes; ++l) {
+                            const KernelNz &k = ks[base + l];
+                            Index orow = r + k.kr - pad;
+                            Index ocol = c + k.kc - pad;
+                            if (orow < 0 || orow >= dim || ocol < 0 ||
+                                ocol >= dim) {
+                                // Edge contributions fall off the
+                                // plane; lane still occupies a slot.
+                                tok.addr[l] = 0;
+                                tok.lane_tile[l] =
+                                    static_cast<std::int8_t>(t);
+                                continue;
+                            }
+                            int owner = static_cast<int>(
+                                orow / rows_per_tile);
+                            Index local_row = orow % rows_per_tile;
+                            tok.addr[l] = static_cast<std::uint32_t>(
+                                (k.oc * rows_per_tile + local_row) *
+                                    dim +
+                                ocol);
+                            tok.lane_tile[l] =
+                                static_cast<std::int8_t>(owner);
+                        }
+                        mach.feed(t, tok);
+                    });
+                }
+            }
+        }
+    }
+    mach.runPhase();
+
+    // Phase 2: stream the dense output plane back to DRAM.
+    mach.resetChains();
+    for (int t = 0; t < tiles; ++t) {
+        mach.addStage(t, {StageKind::DramStream, 1});
+        mach.addStage(t, {StageKind::Sink});
+        Index r_begin = t * rows_per_tile;
+        Index rows_here = std::max<Index>(
+            0, std::min<Index>(dim, r_begin + rows_per_tile) - r_begin);
+        Index64 bytes = Index64{4} * layer.out_channels * rows_here *
+                        dim;
+        while (bytes > 0) {
+            Token tok = Token::compute(16);
+            tok.bytes = static_cast<std::uint32_t>(
+                std::min<Index64>(bytes, 4096));
+            bytes -= tok.bytes;
+            mach.feed(t, tok);
+        }
+    }
+    mach.runPhase();
+    res.timing.finish(mach);
+    return res;
+}
+
+} // namespace capstan::apps

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Sparse-sparse convolution (Table 2, Conv).
+ *
+ * Iterates non-zero input activations with the scanner (loop 1,
+ * sparse(In)), then the pruned kernel's non-zeros for that input channel
+ * (loop 2), scattering atomic accumulations into the output plane:
+ *   Out[oC, r+rK, c+cK] += In[iC, r, c] * K[iC][rK, cK, oC].
+ * Spatial output tiles own row bands; halo contributions cross tiles
+ * through the shuffle network, which is why Conv exercises it so hard
+ * (Table 11).
+ */
+
+#ifndef CAPSTAN_APPS_CONV_HPP
+#define CAPSTAN_APPS_CONV_HPP
+
+#include "apps/common.hpp"
+#include "workloads/synth.hpp"
+
+namespace capstan::apps {
+
+using workloads::ConvLayer;
+
+/** Result of a convolution: output tensor plus timing. */
+struct ConvResult
+{
+    sparse::DenseTensor3 out; //!< (outCh, dim, dim).
+    AppTiming timing;
+};
+
+/** Golden scalar reference ("same" padding, stride 1). */
+sparse::DenseTensor3 convReference(const ConvLayer &layer);
+
+/** Sparse convolution on Capstan. */
+ConvResult runConv(const ConvLayer &layer, const CapstanConfig &cfg,
+                   int tiles = kDefaultTiles);
+
+} // namespace capstan::apps
+
+#endif // CAPSTAN_APPS_CONV_HPP

@@ -1,0 +1,269 @@
+#include "apps/graph.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "workloads/tiling.hpp"
+
+namespace capstan::apps {
+
+using workloads::Tiling;
+
+namespace {
+
+/** Address-space bases so the per-vertex arrays land on distinct words. */
+constexpr std::uint32_t kDistBase = 0;
+constexpr std::uint32_t kPtrBase = 1u << 16;
+constexpr std::uint32_t kFrontierBase = 1u << 17;
+
+/**
+ * Feed one traversal level: scan the tile-local frontier bitset, then
+ * stream each frontier vertex's adjacency list as address tokens whose
+ * lanes point at the destination owners.
+ */
+void
+feedLevel(Machine &mach, const CsrMatrix &graph, const Tiling &tiling,
+          const std::vector<Index> &frontier, int window_bits)
+{
+    int tiles = tiling.tiles();
+    // Per tile, frontier vertices in local order.
+    std::vector<std::vector<Index>> local(tiles);
+    for (Index v : frontier)
+        local[tiling.tileOf(v)].push_back(v);
+    for (int t = 0; t < tiles; ++t)
+        std::sort(local[t].begin(), local[t].end());
+
+    for (int t = 0; t < tiles; ++t) {
+        // Every level, every tile scans its whole local frontier
+        // bit-vector: empty windows before, between, and after the set
+        // bits all burn scanner cycles (the Scan class of Fig. 7).
+        Index local_count =
+            static_cast<Index>(tiling.rowsOf(t).size());
+        Index total_windows =
+            (local_count + window_bits - 1) / window_bits;
+        Index prev_window = -1;
+        for (Index v : local[t]) {
+            Index lv = tiling.localIndex(v);
+            Index window = lv / window_bits;
+            // Empty windows between the previous frontier vertex and
+            // this one cost scanner cycles.
+            Index skipped =
+                prev_window < 0 ? window : window - prev_window - 1;
+            prev_window = window;
+
+            auto dsts = graph.rowIndices(v);
+            Index len = static_cast<Index>(dsts.size());
+            if (len == 0) {
+                Token tok;
+                tok.valid_mask = 0;
+                tok.scan_skip = static_cast<std::int32_t>(skipped);
+                mach.feed(t, tok);
+                continue;
+            }
+            bool first = true;
+            emitChunks(len, [&](Index base, int lanes) {
+                Token tok = Token::compute(lanes);
+                tok.has_addr = true;
+                // Destination pointer + weight per edge.
+                tok.bytes = 8 * lanes + (base == 0 ? 8 : 0);
+                tok.scan_skip =
+                    first ? static_cast<std::int32_t>(skipped) : 0;
+                first = false;
+                for (int l = 0; l < lanes; ++l) {
+                    Index d = dsts[base + l];
+                    tok.addr[l] = static_cast<std::uint32_t>(
+                        tiling.localIndex(d));
+                    tok.lane_tile[l] =
+                        static_cast<std::int8_t>(tiling.tileOf(d));
+                }
+                mach.feed(t, tok);
+            });
+        }
+        // Trailing empty windows after the last frontier vertex (or
+        // the whole bit-vector for tiles with an empty frontier).
+        Index trailing = total_windows - (prev_window + 1);
+        if (trailing > 0) {
+            Token tok;
+            tok.valid_mask = 0;
+            tok.scan_skip = static_cast<std::int32_t>(trailing);
+            mach.feed(t, tok);
+        }
+    }
+}
+
+} // namespace
+
+std::vector<Index>
+bfsReference(const CsrMatrix &graph, Index source)
+{
+    std::vector<Index> level(graph.rows(), -1);
+    std::queue<Index> q;
+    level[source] = 0;
+    q.push(source);
+    while (!q.empty()) {
+        Index v = q.front();
+        q.pop();
+        for (Index d : graph.rowIndices(v)) {
+            if (level[d] < 0) {
+                level[d] = level[v] + 1;
+                q.push(d);
+            }
+        }
+    }
+    return level;
+}
+
+std::vector<Value>
+ssspReference(const CsrMatrix &graph, Index source)
+{
+    constexpr Value inf = std::numeric_limits<Value>::infinity();
+    std::vector<Value> dist(graph.rows(), inf);
+    using Entry = std::pair<Value, Index>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+    dist[source] = 0;
+    pq.push({0, source});
+    while (!pq.empty()) {
+        auto [d, v] = pq.top();
+        pq.pop();
+        if (d > dist[v])
+            continue;
+        auto idx = graph.rowIndices(v);
+        auto val = graph.rowValues(v);
+        for (std::size_t i = 0; i < idx.size(); ++i) {
+            Value nd = d + val[i];
+            if (nd < dist[idx[i]]) {
+                dist[idx[i]] = nd;
+                pq.push({nd, idx[i]});
+            }
+        }
+    }
+    return dist;
+}
+
+BfsResult
+runBfs(const CsrMatrix &graph, Index source, const CapstanConfig &cfg,
+       int tiles, bool write_pointers)
+{
+    BfsResult res;
+    res.level.assign(graph.rows(), -1);
+    res.parent.assign(graph.rows(), -1);
+
+    Machine mach(cfg, tiles);
+    if (cfg.dram.compression)
+        mach.setStreamCompression(
+            streamCompressionRatio(graph.colIdx(), 0.5));
+    Tiling tiling = Tiling::byWeight(graph, tiles);
+    int window_bits = std::max(1, cfg.scanner.window_bits);
+
+    std::vector<Index> frontier = {source};
+    res.level[source] = 0;
+    Index depth = 0;
+    while (!frontier.empty()) {
+        // Functional expansion of this level.
+        std::vector<Index> next;
+        for (Index v : frontier) {
+            for (Index d : graph.rowIndices(v)) {
+                if (res.level[d] < 0) {
+                    res.level[d] = depth + 1;
+                    res.parent[d] = v; // write-if-zero: first wins.
+                    next.push_back(d);
+                }
+            }
+        }
+
+        // Timing: scan frontier -> stream adjacency -> RMW chain.
+        mach.resetChains();
+        for (int t = 0; t < tiles; ++t) {
+            mach.addStage(t, {StageKind::Scan, 1});
+            mach.addStage(t, {StageKind::DramStream, 1});
+            // Rch[d] test-and-set.
+            mach.addStage(t, {StageKind::SpmuCross, 1,
+                              sim::AccessOp::TestAndSet, kDistBase});
+            if (write_pointers) {
+                // Ptr[d] write-if-zero (keep the first parent).
+                mach.addStage(t, {StageKind::SpmuCross, 1,
+                                  sim::AccessOp::WriteIfZero, kPtrBase});
+            }
+            // Fr[d] |= !Rch[d].
+            mach.addStage(t, {StageKind::SpmuCross, 1,
+                              sim::AccessOp::BitOr, kFrontierBase});
+            mach.addStage(t, {StageKind::Sink});
+        }
+        feedLevel(mach, graph, tiling, frontier, window_bits);
+        mach.runPhase();
+
+        frontier = std::move(next);
+        ++depth;
+    }
+    res.timing.finish(mach);
+    return res;
+}
+
+SsspResult
+runSssp(const CsrMatrix &graph, Index source, const CapstanConfig &cfg,
+        int tiles, bool write_pointers)
+{
+    constexpr Value inf = std::numeric_limits<Value>::infinity();
+    SsspResult res;
+    res.dist.assign(graph.rows(), inf);
+    res.parent.assign(graph.rows(), -1);
+
+    Machine mach(cfg, tiles);
+    if (cfg.dram.compression)
+        mach.setStreamCompression(
+            streamCompressionRatio(graph.colIdx(), 0.5));
+    Tiling tiling = Tiling::byWeight(graph, tiles);
+    int window_bits = std::max(1, cfg.scanner.window_bits);
+
+    // Frontier-driven Bellman-Ford: relax out-edges of improved
+    // vertices until no distance changes (min-report-changed).
+    std::vector<Index> frontier = {source};
+    res.dist[source] = 0;
+    while (!frontier.empty()) {
+        std::vector<Index> next;
+        std::vector<bool> queued(graph.rows(), false);
+        for (Index v : frontier) {
+            auto idx = graph.rowIndices(v);
+            auto val = graph.rowValues(v);
+            for (std::size_t i = 0; i < idx.size(); ++i) {
+                Value nd = res.dist[v] + val[i];
+                if (nd < res.dist[idx[i]]) {
+                    res.dist[idx[i]] = nd;
+                    res.parent[idx[i]] = v;
+                    if (!queued[idx[i]]) {
+                        queued[idx[i]] = true;
+                        next.push_back(idx[i]);
+                    }
+                }
+            }
+        }
+
+        mach.resetChains();
+        for (int t = 0; t < tiles; ++t) {
+            mach.addStage(t, {StageKind::Scan, 1});
+            mach.addStage(t, {StageKind::DramStream, 1});
+            // nd = Dist[s] + w.
+            mach.addStage(t, {StageKind::Map, kMapLatency});
+            // Dist[d] = min(Dist[d], nd), reporting changes.
+            mach.addStage(t,
+                          {StageKind::SpmuCross, 1,
+                           sim::AccessOp::MinReportChanged, kDistBase});
+            if (write_pointers) {
+                mach.addStage(t, {StageKind::SpmuCross, 1,
+                                  sim::AccessOp::Write, kPtrBase});
+            }
+            mach.addStage(t, {StageKind::SpmuCross, 1,
+                              sim::AccessOp::BitOr, kFrontierBase});
+            mach.addStage(t, {StageKind::Sink});
+        }
+        feedLevel(mach, graph, tiling, frontier, window_bits);
+        mach.runPhase();
+
+        frontier = std::move(next);
+    }
+    res.timing.finish(mach);
+    return res;
+}
+
+} // namespace capstan::apps

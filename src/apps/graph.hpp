@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Frontier-based graph traversals: BFS and SSSP (Table 2).
+ *
+ * Both apps keep the frontier as a bitset scanned by the bit-vector
+ * scanner, stream adjacency lists from DRAM, and update per-vertex
+ * state with the SpMU's read-modify-write operations: BFS uses
+ * test-and-set on the reached bitset and write-if-zero for back
+ * pointers; SSSP uses min-report-changed for distance relaxation
+ * (Section 3.1). Levels are barriers: the paper notes the on-chip
+ * network dominates these apps because iterations cannot pipeline.
+ */
+
+#ifndef CAPSTAN_APPS_GRAPH_HPP
+#define CAPSTAN_APPS_GRAPH_HPP
+
+#include <vector>
+
+#include "apps/common.hpp"
+#include "sparse/matrix.hpp"
+
+namespace capstan::apps {
+
+using sparse::CsrMatrix;
+
+/** BFS result: levels and parent pointers plus timing. */
+struct BfsResult
+{
+    std::vector<Index> level;   //!< -1 if unreachable.
+    std::vector<Index> parent;  //!< -1 for source/unreachable.
+    AppTiming timing;
+};
+
+/** SSSP result: distances and parent pointers plus timing. */
+struct SsspResult
+{
+    std::vector<Value> dist;    //!< Infinity if unreachable.
+    std::vector<Index> parent;
+    AppTiming timing;
+};
+
+/** Golden scalar BFS (level-synchronous). */
+std::vector<Index> bfsReference(const CsrMatrix &graph, Index source);
+
+/** Golden scalar SSSP (Dijkstra). */
+std::vector<Value> ssspReference(const CsrMatrix &graph, Index source);
+
+/**
+ * BFS on Capstan.
+ * @param write_pointers Emit back-pointer updates (disabled for the
+ *        fairer Graphicionado comparison, Section 4.4).
+ */
+BfsResult runBfs(const CsrMatrix &graph, Index source,
+                 const CapstanConfig &cfg, int tiles = kDefaultTiles,
+                 bool write_pointers = true);
+
+/** Frontier-based SSSP (Bellman-Ford style) on Capstan. */
+SsspResult runSssp(const CsrMatrix &graph, Index source,
+                   const CapstanConfig &cfg, int tiles = kDefaultTiles,
+                   bool write_pointers = true);
+
+} // namespace capstan::apps
+
+#endif // CAPSTAN_APPS_GRAPH_HPP

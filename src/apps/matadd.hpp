@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Sparse matrix addition, M+M (Table 2), with bit-tree iteration.
+ *
+ * C = A + B row by row: the union of each row pair's occupancy drives a
+ * sparse-sparse union scan; matched entries add, unmatched entries copy
+ * (the scanner's kNoIndex side reads as zero). Rows this sparse
+ * (< 1% density) would drown a flat bit-vector scanner in zero windows,
+ * so rows are stored as two-level bit-trees (Section 2.3): pass one
+ * aligns the trees' leaves, pass two scans only the occupied leaves.
+ */
+
+#ifndef CAPSTAN_APPS_MATADD_HPP
+#define CAPSTAN_APPS_MATADD_HPP
+
+#include "apps/common.hpp"
+#include "sparse/matrix.hpp"
+
+namespace capstan::apps {
+
+using sparse::CsrMatrix;
+
+/** Result of M+M: the sum matrix plus timing. */
+struct MatAddResult
+{
+    CsrMatrix sum;
+    AppTiming timing;
+};
+
+/** Golden scalar reference: C = A + B. */
+CsrMatrix matAddReference(const CsrMatrix &a, const CsrMatrix &b);
+
+/**
+ * M+M on Capstan.
+ * @param use_bittree Use two-level bit-tree iteration (the paper's
+ *        design); false falls back to flat bit-vector rows, which is
+ *        dramatically slower on very sparse rows (Fig. 6a's motivation).
+ */
+MatAddResult runMatAdd(const CsrMatrix &a, const CsrMatrix &b,
+                       const CapstanConfig &cfg,
+                       int tiles = kDefaultTiles,
+                       bool use_bittree = true);
+
+} // namespace capstan::apps
+
+#endif // CAPSTAN_APPS_MATADD_HPP

@@ -1,0 +1,178 @@
+#include "apps/pagerank.hpp"
+
+#include <algorithm>
+
+#include "workloads/tiling.hpp"
+
+namespace capstan::apps {
+
+using workloads::Tiling;
+
+DenseVector
+pageRankReference(const CsrMatrix &graph, int iterations, Value damping)
+{
+    Index n = graph.rows();
+    DenseVector rank(n, 1.0f / n);
+    std::vector<Index> out_degree(n, 0);
+    for (Index u = 0; u < n; ++u)
+        out_degree[u] = graph.rowLength(u);
+    for (int it = 0; it < iterations; ++it) {
+        DenseVector next(n, (1.0f - damping) / n);
+        for (Index u = 0; u < n; ++u) {
+            if (out_degree[u] == 0)
+                continue;
+            Value share = damping * rank[u] / out_degree[u];
+            for (Index v : graph.rowIndices(u))
+                next[v] += share;
+        }
+        rank = std::move(next);
+    }
+    return rank;
+}
+
+PageRankResult
+runPageRankPull(const CsrMatrix &graph, int iterations,
+                const CapstanConfig &cfg, int tiles)
+{
+    PageRankResult res;
+    res.ranks = pageRankReference(graph, iterations);
+
+    // Pull iterates in-edges: build the transpose once (offline format
+    // preparation, as the paper's tiling step does).
+    CsrMatrix in_edges = graph.transpose();
+    Machine mach(cfg, tiles);
+    if (cfg.dram.compression)
+        mach.setStreamCompression(
+            streamCompressionRatio(in_edges.colIdx(), 1.0));
+    Tiling tiling = Tiling::byWeight(in_edges, tiles);
+
+    for (int it = 0; it < iterations; ++it) {
+        mach.resetChains();
+        for (int t = 0; t < tiles; ++t) {
+            // Stream in-edge lists -> gather neighbour ranks (remote
+            // tiles own most sources) -> scale -> reduce per vertex ->
+            // write the new rank locally.
+            mach.addStage(t, {StageKind::DramStream, 1});
+            mach.addStage(
+                t, {StageKind::SpmuCross, 1, sim::AccessOp::Read});
+            mach.addStage(t, {StageKind::Map, kMapLatency});
+            mach.addStage(t, {StageKind::Reduce, kMapLatency});
+            mach.addStage(t, {StageKind::Spmu, 1, sim::AccessOp::Write});
+            mach.addStage(t, {StageKind::Sink});
+        }
+        for (int t = 0; t < tiles; ++t) {
+            for (Index v : tiling.rowsOf(t)) {
+                auto sources = in_edges.rowIndices(v);
+                Index len = static_cast<Index>(sources.size());
+                if (len == 0) {
+                    Token tok;
+                    tok.valid_mask = 0;
+                    tok.bytes = 16;
+                    tok.end_group = true;
+                    mach.feed(t, tok);
+                    continue;
+                }
+                emitChunks(len, [&](Index base, int lanes) {
+                    Token tok = Token::compute(lanes);
+                    tok.has_addr = true;
+                    // Edge pointers, plus the row pointer and the rank
+                    // and degree loads / rank store for this vertex
+                    // (all data round-trips DRAM each iteration).
+                    tok.bytes = 4 * lanes + (base == 0 ? 16 : 0);
+                    tok.end_group = base + lanes >= len;
+                    for (int l = 0; l < lanes; ++l) {
+                        Index u = sources[base + l];
+                        tok.addr[l] = static_cast<std::uint32_t>(
+                            tiling.localIndex(u));
+                        tok.lane_tile[l] = static_cast<std::int8_t>(
+                            tiling.tileOf(u));
+                    }
+                    mach.feed(t, tok);
+                });
+            }
+        }
+        mach.runPhase();
+    }
+    res.timing.finish(mach);
+    return res;
+}
+
+PageRankResult
+runPageRankEdge(const CsrMatrix &graph, int iterations,
+                const CapstanConfig &cfg, int tiles)
+{
+    PageRankResult res;
+    res.ranks = pageRankReference(graph, iterations);
+
+    Machine mach(cfg, tiles);
+    if (cfg.dram.compression) {
+        // Both stream words are pointers; the source side repeats for
+        // every out-edge, which is why PR-Edge compresses best.
+        std::vector<Index> ptrs;
+        ptrs.reserve(2 * static_cast<std::size_t>(graph.nnz()));
+        for (Index u = 0; u < graph.rows(); ++u) {
+            for (Index k = 0; k < graph.rowLength(u); ++k)
+                ptrs.push_back(u);
+        }
+        const auto &dsts = graph.colIdx();
+        ptrs.insert(ptrs.end(), dsts.begin(), dsts.end());
+        mach.setStreamCompression(streamCompressionRatio(ptrs, 1.0));
+    }
+    Tiling tiling = Tiling::byWeight(graph, tiles);
+
+    for (int it = 0; it < iterations; ++it) {
+        mach.resetChains();
+        for (int t = 0; t < tiles; ++t) {
+            // Stream edges in source order -> read the (local) source
+            // rank -> scale -> atomic scatter to destination owners.
+            mach.addStage(t, {StageKind::DramStream, 1});
+            mach.addStage(t, {StageKind::Spmu, 1, sim::AccessOp::Read});
+            mach.addStage(t, {StageKind::Map, kMapLatency});
+            mach.addStage(
+                t, {StageKind::SpmuCross, 1, sim::AccessOp::AddF32});
+            mach.addStage(t, {StageKind::Sink});
+        }
+        for (int t = 0; t < tiles; ++t) {
+            for (Index u : tiling.rowsOf(t)) {
+                auto dsts = graph.rowIndices(u);
+                emitChunks(static_cast<Index>(dsts.size()),
+                           [&](Index base, int lanes) {
+                    Token tok = Token::compute(lanes);
+                    tok.has_addr = true;
+                    // Source + destination pointers per edge; source
+                    // pointers repeat and compress well (Fig. 5c).
+                    tok.bytes = 8 * lanes;
+                    for (int l = 0; l < lanes; ++l) {
+                        Index d = dsts[base + l];
+                        tok.addr[l] = static_cast<std::uint32_t>(
+                            tiling.localIndex(d));
+                        tok.lane_tile[l] = static_cast<std::int8_t>(
+                            tiling.tileOf(d));
+                    }
+                    mach.feed(t, tok);
+                });
+            }
+        }
+        mach.runPhase();
+
+        // Stream the updated rank vector back to DRAM (and reload it
+        // next iteration): 8 B per vertex.
+        mach.resetChains();
+        for (int t = 0; t < tiles; ++t) {
+            mach.addStage(t, {StageKind::DramStream, 1});
+            mach.addStage(t, {StageKind::Sink});
+            Index rows_here =
+                static_cast<Index>(tiling.rowsOf(t).size());
+            emitChunks(rows_here, [&](Index, int lanes) {
+                Token tok = Token::compute(lanes);
+                tok.bytes = 8 * lanes;
+                mach.feed(t, tok);
+            });
+        }
+        mach.runPhase();
+    }
+    res.timing.finish(mach);
+    return res;
+}
+
+} // namespace capstan::apps

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * PageRank in pull and edge-streaming variants (Table 2).
+ *
+ * PR-Pull iterates destination vertices (CSR of the transposed graph),
+ * gathering neighbour ranks and reducing per vertex — it suffers
+ * under-vectorization on low-degree vertices. PR-Edge streams the edge
+ * list (COO) and scatters atomic contributions — it suffers SRAM
+ * conflicts on power-law hubs. The choice between them is exactly the
+ * trade-off Fig. 7 discusses.
+ */
+
+#ifndef CAPSTAN_APPS_PAGERANK_HPP
+#define CAPSTAN_APPS_PAGERANK_HPP
+
+#include "apps/common.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/matrix.hpp"
+
+namespace capstan::apps {
+
+using sparse::CsrMatrix;
+using sparse::DenseVector;
+
+/** Result of a PageRank run: final ranks plus timing. */
+struct PageRankResult
+{
+    DenseVector ranks;
+    AppTiming timing;
+};
+
+/** Golden scalar reference (synchronous power iteration). */
+DenseVector pageRankReference(const CsrMatrix &graph, int iterations,
+                              Value damping = 0.85f);
+
+/** Pull-based PageRank on Capstan. */
+PageRankResult runPageRankPull(const CsrMatrix &graph, int iterations,
+                               const CapstanConfig &cfg,
+                               int tiles = kDefaultTiles);
+
+/** Edge-streaming PageRank on Capstan. */
+PageRankResult runPageRankEdge(const CsrMatrix &graph, int iterations,
+                               const CapstanConfig &cfg,
+                               int tiles = kDefaultTiles);
+
+} // namespace capstan::apps
+
+#endif // CAPSTAN_APPS_PAGERANK_HPP

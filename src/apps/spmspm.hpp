@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Row-based (Gustavson's) sparse matrix-matrix multiply (Section 2.4).
+ *
+ * For each output row i: union the occupancy of the B rows selected by
+ * A's row i into a Val bitset, accumulate scaled B rows into a dense
+ * per-row tile with SpMU read-modify-writes, then sparse-iterate Val to
+ * extract the compressed output row and swap the tile back to zero.
+ * Rows pipeline through the chain, which is why SpMSpM reaches high
+ * activity factors (Fig. 7).
+ */
+
+#ifndef CAPSTAN_APPS_SPMSPM_HPP
+#define CAPSTAN_APPS_SPMSPM_HPP
+
+#include "apps/common.hpp"
+#include "sparse/matrix.hpp"
+
+namespace capstan::apps {
+
+using sparse::CsrMatrix;
+
+/** Result of SpMSpM: the product matrix plus timing. */
+struct SpmspmResult
+{
+    CsrMatrix product;
+    AppTiming timing;
+};
+
+/** Golden scalar reference (row-merge Gustavson). */
+CsrMatrix spmspmReference(const CsrMatrix &a, const CsrMatrix &b);
+
+/** SpMSpM on Capstan. */
+SpmspmResult runSpmspm(const CsrMatrix &a, const CsrMatrix &b,
+                       const CapstanConfig &cfg,
+                       int tiles = kDefaultTiles);
+
+} // namespace capstan::apps
+
+#endif // CAPSTAN_APPS_SPMSPM_HPP

@@ -1,0 +1,230 @@
+#include "apps/spmv.hpp"
+
+#include <algorithm>
+
+#include "workloads/tiling.hpp"
+
+namespace capstan::apps {
+
+using workloads::Tiling;
+
+DenseVector
+spmvReference(const CsrMatrix &m, const DenseVector &v)
+{
+    DenseVector out(m.rows());
+    for (Index r = 0; r < m.rows(); ++r) {
+        auto idx = m.rowIndices(r);
+        auto val = m.rowValues(r);
+        Value acc = 0;
+        for (std::size_t i = 0; i < idx.size(); ++i)
+            acc += val[i] * v[idx[i]];
+        out[r] = acc;
+    }
+    return out;
+}
+
+SpmvResult
+runSpmvCsr(const CsrMatrix &m, const DenseVector &v,
+           const CapstanConfig &cfg, int tiles)
+{
+    SpmvResult res;
+    res.out = spmvReference(m, v); // Functional execution.
+
+    Machine mach(cfg, tiles);
+    if (cfg.dram.compression)
+        mach.setStreamCompression(
+            streamCompressionRatio(m.colIdx(), 0.5));
+    Tiling tiling = Tiling::roundRobin(m.rows(), tiles);
+    for (int t = 0; t < tiles; ++t) {
+        // Stream matrix -> gather V[c] on-chip -> multiply -> reduce per
+        // row -> stream results out.
+        mach.addStage(t, {StageKind::DramStream, 1});
+        mach.addStage(t, {StageKind::Spmu, 1, sim::AccessOp::Read});
+        mach.addStage(t, {StageKind::Map, kMapLatency});
+        mach.addStage(t, {StageKind::Reduce, kMapLatency});
+        mach.addStage(t, {StageKind::DramStream, 1});
+        mach.addStage(t, {StageKind::Sink});
+    }
+    for (int t = 0; t < tiles; ++t) {
+        for (Index r : tiling.rowsOf(t)) {
+            auto idx = m.rowIndices(r);
+            Index len = static_cast<Index>(idx.size());
+            if (len == 0) {
+                // Empty row: the row pointer still streams and the
+                // reduction still closes a group.
+                Token tok;
+                tok.valid_mask = 0;
+                tok.bytes = 4;
+                tok.end_group = true;
+                mach.feed(t, tok);
+                continue;
+            }
+            emitChunks(len, [&](Index base, int lanes) {
+                Token tok = Token::compute(lanes);
+                tok.has_addr = true;
+                for (int l = 0; l < lanes; ++l)
+                    tok.addr[l] =
+                        static_cast<std::uint32_t>(idx[base + l]);
+                // 8 B per non-zero (index + value); the row pointer
+                // rides on the first chunk.
+                tok.bytes = 8 * lanes + (base == 0 ? 4 : 0);
+                tok.end_group = base + lanes >= len;
+                mach.feed(t, tok);
+            });
+        }
+    }
+    mach.runPhase();
+    res.timing.finish(mach);
+    return res;
+}
+
+SpmvResult
+runSpmvCoo(const CsrMatrix &m, const DenseVector &v,
+           const CapstanConfig &cfg, int tiles)
+{
+    SpmvResult res;
+    res.out = spmvReference(m, v);
+
+    Machine mach(cfg, tiles);
+    // Non-zeros round-robin across tiles; output rows block-partitioned
+    // so accumulations may land on any tile (cross-tile RMW).
+    Index rows_per_tile = (m.rows() + tiles - 1) / tiles;
+    CooMatrix coo = m.toCoo();
+    if (cfg.dram.compression) {
+        // Two of the three stream words per entry are pointers; the
+        // row pointers repeat heavily in row-major order (Fig. 5c).
+        std::vector<Index> ptrs;
+        ptrs.reserve(2 * static_cast<std::size_t>(coo.nnz()));
+        for (const auto &e : coo.entries())
+            ptrs.push_back(e.row);
+        for (const auto &e : coo.entries())
+            ptrs.push_back(e.col);
+        mach.setStreamCompression(
+            streamCompressionRatio(ptrs, 2.0 / 3.0));
+    }
+    for (int t = 0; t < tiles; ++t) {
+        mach.addStage(t, {StageKind::DramStream, 1});
+        mach.addStage(t, {StageKind::Spmu, 1, sim::AccessOp::Read});
+        mach.addStage(t, {StageKind::Map, kMapLatency});
+        mach.addStage(t,
+                      {StageKind::SpmuCross, 1, sim::AccessOp::AddF32});
+        mach.addStage(t, {StageKind::Sink});
+    }
+    Index64 nnz = coo.nnz();
+    Index64 per_tile = (nnz + tiles - 1) / tiles;
+    for (int t = 0; t < tiles; ++t) {
+        Index64 begin = t * per_tile;
+        Index64 end = std::min<Index64>(nnz, begin + per_tile);
+        for (Index64 base = begin; base < end;
+             base += sim::kMaxLanes) {
+            int lanes = static_cast<int>(
+                std::min<Index64>(sim::kMaxLanes, end - base));
+            Token tok = Token::compute(lanes);
+            tok.has_addr = true;
+            tok.bytes = 12 * lanes; // row + col + value per entry.
+            for (int l = 0; l < lanes; ++l) {
+                const sparse::Triplet &e = coo.entries()[base + l];
+                tok.addr[l] = static_cast<std::uint32_t>(e.col);
+                tok.lane_tile[l] =
+                    static_cast<std::int8_t>(e.row / rows_per_tile);
+            }
+            mach.feed(t, tok);
+        }
+    }
+    mach.runPhase();
+
+    // Final pass: stream the accumulated output back to DRAM.
+    mach.resetChains();
+    for (int t = 0; t < tiles; ++t) {
+        mach.addStage(t, {StageKind::DramStream, 1});
+        mach.addStage(t, {StageKind::Sink});
+        Index rows_here = std::min<Index>(
+            rows_per_tile, std::max<Index>(0, m.rows() -
+                                                  t * rows_per_tile));
+        emitChunks(rows_here, [&](Index, int lanes) {
+            Token tok = Token::compute(lanes);
+            tok.bytes = 4 * lanes;
+            mach.feed(t, tok);
+        });
+    }
+    mach.runPhase();
+    res.timing.finish(mach);
+    return res;
+}
+
+SpmvResult
+runSpmvCsc(const CsrMatrix &m, const DenseVector &v,
+           const CapstanConfig &cfg, int tiles)
+{
+    SpmvResult res;
+    res.out = spmvReference(m, v);
+
+    CscMatrix csc = CscMatrix::fromCsr(m);
+    Machine mach(cfg, tiles);
+    if (cfg.dram.compression)
+        mach.setStreamCompression(
+            streamCompressionRatio(csc.rowIdx(), 0.5));
+    Index rows_per_tile = (m.rows() + tiles - 1) / tiles;
+    Index cols_per_tile = (m.cols() + tiles - 1) / tiles;
+    for (int t = 0; t < tiles; ++t) {
+        // Data-scan the input vector -> stream the matched column ->
+        // multiply -> scatter atomic updates into Out across tiles.
+        mach.addStage(t, {StageKind::DataScan, 1});
+        mach.addStage(t, {StageKind::DramStream, 1});
+        mach.addStage(t, {StageKind::Map, kMapLatency});
+        mach.addStage(t,
+                      {StageKind::SpmuCross, 1, sim::AccessOp::AddF32});
+        mach.addStage(t, {StageKind::Sink});
+    }
+    for (int t = 0; t < tiles; ++t) {
+        Index c_begin = t * cols_per_tile;
+        Index c_end = std::min<Index>(m.cols(), c_begin + cols_per_tile);
+        Index gap = 0; // Elements scanned since the last non-zero.
+        for (Index c = c_begin; c < c_end; ++c) {
+            ++gap;
+            if (v[c] == Value{0})
+                continue;
+            auto rows = csc.colIndices(c);
+            Index len = static_cast<Index>(rows.size());
+            Index this_gap = gap;
+            gap = 0;
+            if (len == 0)
+                continue;
+            emitChunks(len, [&](Index base, int lanes) {
+                Token tok = Token::compute(lanes);
+                tok.has_addr = true;
+                tok.bytes = 8 * lanes + (base == 0 ? 8 : 0);
+                tok.scan_elems =
+                    base == 0 ? static_cast<std::int32_t>(this_gap) : 0;
+                for (int l = 0; l < lanes; ++l) {
+                    Index r = rows[base + l];
+                    tok.addr[l] = static_cast<std::uint32_t>(r);
+                    tok.lane_tile[l] =
+                        static_cast<std::int8_t>(r / rows_per_tile);
+                }
+                mach.feed(t, tok);
+            });
+        }
+    }
+    mach.runPhase();
+
+    // Stream Out back to DRAM.
+    mach.resetChains();
+    for (int t = 0; t < tiles; ++t) {
+        mach.addStage(t, {StageKind::DramStream, 1});
+        mach.addStage(t, {StageKind::Sink});
+        Index rows_here = std::min<Index>(
+            rows_per_tile,
+            std::max<Index>(0, m.rows() - t * rows_per_tile));
+        emitChunks(rows_here, [&](Index, int lanes) {
+            Token tok = Token::compute(lanes);
+            tok.bytes = 4 * lanes;
+            mach.feed(t, tok);
+        });
+    }
+    mach.runPhase();
+    res.timing.finish(mach);
+    return res;
+}
+
+} // namespace capstan::apps

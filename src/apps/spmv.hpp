@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Sparse matrix-vector multiplication in three formats (Table 2).
+ *
+ * CSR: dense iteration over rows, compressed columns within a row;
+ *      gathers V[c] from on-chip memory and reduces per row.
+ * COO: streams non-zeros in value order; gathers V[c] and atomically
+ *      accumulates Out[r] across tiles (the RMW pattern Plasticine
+ *      cannot support, Section 5).
+ * CSC: iterates only the non-zero entries of the *input vector* via the
+ *      data scanner, streaming one matrix column per non-zero input and
+ *      scattering atomic updates into Out.
+ */
+
+#ifndef CAPSTAN_APPS_SPMV_HPP
+#define CAPSTAN_APPS_SPMV_HPP
+
+#include "apps/common.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/matrix.hpp"
+
+namespace capstan::apps {
+
+using sparse::CooMatrix;
+using sparse::CscMatrix;
+using sparse::CsrMatrix;
+using sparse::DenseVector;
+
+/** Result of a SpMV run: the output vector plus timing. */
+struct SpmvResult
+{
+    DenseVector out;
+    AppTiming timing;
+};
+
+/** Golden scalar reference: out = M * v. */
+DenseVector spmvReference(const CsrMatrix &m, const DenseVector &v);
+
+/** CSR SpMV on Capstan. */
+SpmvResult runSpmvCsr(const CsrMatrix &m, const DenseVector &v,
+                      const CapstanConfig &cfg,
+                      int tiles = kDefaultTiles);
+
+/** COO SpMV on Capstan (matrix streamed in coordinate form). */
+SpmvResult runSpmvCoo(const CsrMatrix &m, const DenseVector &v,
+                      const CapstanConfig &cfg,
+                      int tiles = kDefaultTiles);
+
+/**
+ * CSC SpMV on Capstan; @p v is expected to be sparse (the paper uses a
+ * 30%-dense input vector, as in the EIE evaluation).
+ */
+SpmvResult runSpmvCsc(const CsrMatrix &m, const DenseVector &v,
+                      const CapstanConfig &cfg,
+                      int tiles = kDefaultTiles);
+
+} // namespace capstan::apps
+
+#endif // CAPSTAN_APPS_SPMV_HPP

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * The Capstan machine: a cycle-stepped executor for tile pipelines.
+ *
+ * Applications lower each outer-parallel tile to a *linear chain* of
+ * pipeline stages (scan headers, vectorized map/reduce bodies, SpMU
+ * accesses, DRAM streams and atomics). The Machine owns one SpMU per
+ * tile, a shared DRAM model, and a shared shuffle network; it steps every
+ * component each cycle until all chains drain. Iterative applications
+ * run a *sequence of phases* (one per loop level or kernel); the machine
+ * accumulates cycles and the stall statistics behind Fig. 7.
+ *
+ * This mirrors the paper's methodology: a custom cycle-level simulator at
+ * vector granularity with a loosely-timed network (Section 4).
+ */
+
+#ifndef CAPSTAN_LANG_MACHINE_HPP
+#define CAPSTAN_LANG_MACHINE_HPP
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "lang/token.hpp"
+#include "sim/config.hpp"
+#include "sim/dram.hpp"
+#include "sim/scanner.hpp"
+#include "sim/shuffle.hpp"
+#include "sim/spmu.hpp"
+
+namespace capstan::lang {
+
+using sim::CapstanConfig;
+using sim::Cycle;
+
+/** Pipeline-stage kinds a tile chain can contain. */
+enum class StageKind {
+    Map,        //!< Vectorized compute; fixed latency, II = 1.
+    Scan,       //!< Bit-vector scan header; consumes window tokens.
+    DataScan,   //!< Data scanner; consumes element-window tokens.
+    Spmu,       //!< Access this tile's sparse memory.
+    SpmuCross,  //!< Access other tiles' memories via the shuffle net.
+    DramStream, //!< Sequential DRAM transfer (bytes on each token).
+    DramAtomic, //!< Random atomic DRAM access through an AG.
+    Reduce,     //!< Tree reduction; emits one output per group.
+    Sink,       //!< Terminal stage; counts completed work.
+};
+
+/** Static description of one stage in a chain. */
+struct StageSpec
+{
+    StageKind kind = StageKind::Map;
+    Cycle latency = 1;                        //!< Pipeline depth.
+    sim::AccessOp op = sim::AccessOp::Read;   //!< For memory stages.
+    /**
+     * Added to every lane address at this stage; lets several memory
+     * stages in one chain touch different arrays (e.g. BFS's reached
+     * bitset, back pointers, and next frontier) from one token stream.
+     */
+    std::uint32_t addr_offset = 0;
+};
+
+/** Timing results of one phase (all chains run to completion). */
+struct PhaseStats
+{
+    Cycle cycles = 0;                 //!< Phase makespan.
+    std::vector<Cycle> tile_finish;   //!< Last activity per tile.
+};
+
+/** Accumulated statistics across phases (inputs to Fig. 7). */
+struct RunTotals
+{
+    Cycle cycles = 0;                  //!< Sum of phase makespans.
+    double active_lane_cycles = 0;     //!< Useful lanes at sinks.
+    double vector_idle_lane_cycles = 0;//!< Dead lanes at sinks.
+    double scan_empty_cycles = 0;      //!< All-zero scanner windows.
+    double imbalance_lane_cycles = 0;  //!< Tiles idle at phase tails.
+    std::uint64_t tokens = 0;          //!< Tokens retired at sinks.
+};
+
+/**
+ * Cycle-stepped executor over a set of tile chains.
+ *
+ * Usage: construct, addStage() per tile to build chains, feed() tokens,
+ * runPhase(); repeat (chains and feeds reset each phase, components and
+ * totals persist), then read totals().
+ */
+class Machine
+{
+  public:
+    Machine(const CapstanConfig &cfg, int tiles);
+
+    int tiles() const { return static_cast<int>(tiles_.size()); }
+    const CapstanConfig &config() const { return cfg_; }
+
+    /** Append a stage to @p tile's chain; returns the stage index. */
+    int addStage(int tile, const StageSpec &spec);
+
+    /** Feed a source token into @p tile's chain (before runPhase). */
+    void feed(int tile, const Token &token);
+
+    /** Convenience: window the bit-vector @p pops into scan tokens. */
+    void feedScanWindows(int tile, const std::vector<Index> &window_pops,
+                         std::uint32_t bytes_per_window = 0);
+
+    /**
+     * Run until every chain drains.
+     * @param max_cycles Watchdog; the phase aborts (and asserts in
+     *        debug builds) if exceeded.
+     */
+    PhaseStats runPhase(Cycle max_cycles = 1ull << 34);
+
+    /** Clear chains (but not totals) to build the next phase. */
+    void resetChains();
+
+    /** Add a synchronization barrier cost between phases. */
+    void addBarrier(Cycle cycles);
+
+    /**
+     * Effective read-compression ratio applied to DramStream bytes
+     * (Section 3.4's base/offset pointer compression). The caller
+     * computes the ratio from the actual pointer streams; 1.0 (default)
+     * means uncompressed. Only active when the DRAM config enables
+     * compression.
+     */
+    void setStreamCompression(double ratio);
+
+    const RunTotals &totals() const { return totals_; }
+
+    sim::DramModel &dram() { return dram_; }
+    sim::SparseMemoryUnit &spmu(int tile) { return *spmus_[tile]; }
+    sim::ShuffleNetwork &shuffle() { return shuffle_; }
+
+    /** Aggregate SpMU statistics over all tiles. */
+    sim::SpmuStats spmuTotals() const;
+
+  private:
+    struct Stage
+    {
+        StageSpec spec;
+        std::deque<Token> in;
+        // Scan state: zero windows left to traverse, busy cycles left.
+        std::int64_t scan_skip_remaining = 0;
+        std::int64_t scan_occupied = 0;
+        // Reduce packing state.
+        int reduce_groups = 0;
+        // Stats.
+        std::uint64_t tokens_out = 0;
+    };
+
+    struct Tile
+    {
+        std::vector<Stage> stages;
+        Cycle last_active = 0;
+        std::uint64_t next_uid_seq = 0;
+        /** Stage where lane occupancy is counted (first Map or sink). */
+        int lane_count_stage = -1;
+    };
+
+    /** Resolve (and cache) the lane-accounting stage for tile @p t. */
+    int laneCountStage(int t);
+
+    /** In-flight memory access awaiting completion. */
+    struct Pending
+    {
+        int tile = 0;
+        int stage = 0;
+        Token token;
+        int remaining = 1;
+        /** Earliest delivery cycle (e.g. a DRAM-atomic side leg). */
+        Cycle ready_floor = 0;
+    };
+
+    void stepTile(int t);
+    bool stageHasRoom(int t, int s) const;
+    void advance(int t, int s, Token token, Cycle extra_latency);
+    void deliverPending(std::uint64_t uid);
+    std::uint64_t makeUid(int tile);
+
+    CapstanConfig cfg_;
+    sim::DramModel dram_;
+    sim::ShuffleNetwork shuffle_;
+    sim::ScannerModel scanner_;
+    std::vector<std::unique_ptr<sim::SparseMemoryUnit>> spmus_;
+    std::vector<std::unique_ptr<sim::AddressGenerator>> ags_;
+    /** Blocking-AG state for configs without burst tracking. */
+    std::vector<Cycle> ag_busy_until_;
+    std::vector<Tile> tiles_;
+    std::unordered_map<std::uint64_t, Pending> pending_;
+    /** SpMU vector id -> origin token uids (one per valid lane). */
+    std::unordered_map<std::uint64_t, std::vector<std::uint64_t>>
+        cross_lanes_;
+    /** Vectors ejected from the shuffle but refused by a busy SpMU. */
+    std::vector<std::deque<sim::ShuffleVector>> eject_hold_;
+    Cycle now_ = 0;
+    std::uint64_t next_vec_id_ = 1;
+    double stream_compression_ = 1.0;
+    RunTotals totals_;
+};
+
+} // namespace capstan::lang
+
+#endif // CAPSTAN_LANG_MACHINE_HPP

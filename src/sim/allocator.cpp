@@ -1,0 +1,66 @@
+#include "sim/allocator.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace capstan::sim {
+
+SeparableAllocator::SeparableAllocator(int lanes, int banks, int iterations)
+    : lanes_(lanes), banks_(banks), iterations_(iterations)
+{
+    assert(lanes > 0 && lanes <= kMaxVirtualLanes);
+    assert(banks > 0 && banks <= 32);
+    assert(iterations > 0);
+}
+
+AllocResult
+SeparableAllocator::allocate(
+    const std::vector<RequestMatrix> &iter_requests) const
+{
+    assert(!iter_requests.empty());
+    AllocResult result;
+    std::uint32_t taken_banks = 0;
+    std::uint32_t granted_lanes = 0;
+
+    for (int iter = 0; iter < iterations_; ++iter) {
+        const RequestMatrix &req =
+            iter_requests[std::min<std::size_t>(iter,
+                                                iter_requests.size() - 1)];
+
+        // Stage 1: each ungranted lane picks its lowest-index requested
+        // bank that is still free (fixed-priority arbiter per lane).
+        std::array<int, kMaxVirtualLanes> choice;
+        choice.fill(-1);
+        for (int l = 0; l < lanes_; ++l) {
+            if (granted_lanes & (1u << l))
+                continue;
+            std::uint32_t avail = req[l] & ~taken_banks;
+            if (avail != 0)
+                choice[l] = std::countr_zero(avail);
+        }
+
+        // Stage 2: each bank accepts its lowest-index chooser (fixed-
+        // priority arbiter per bank). Both stages together guarantee at
+        // most one grant per lane and per bank this iteration.
+        std::array<int, 32> bank_winner;
+        bank_winner.fill(-1);
+        for (int l = 0; l < lanes_; ++l) {
+            int b = choice[l];
+            if (b >= 0 && bank_winner[b] < 0)
+                bank_winner[b] = l;
+        }
+
+        for (int b = 0; b < banks_; ++b) {
+            int l = bank_winner[b];
+            if (l < 0)
+                continue;
+            result.bank_for_lane[l] = b;
+            ++result.grant_count;
+            taken_banks |= 1u << b;
+            granted_lanes |= 1u << l;
+        }
+    }
+    return result;
+}
+
+} // namespace capstan::sim

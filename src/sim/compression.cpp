@@ -1,0 +1,71 @@
+#include "sim/compression.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace capstan::sim {
+
+namespace {
+
+/** Minimal byte width holding @p v. */
+std::uint8_t
+byteWidth(std::uint32_t v)
+{
+    if (v == 0)
+        return 0;
+    if (v <= 0xFF)
+        return 1;
+    if (v <= 0xFFFF)
+        return 2;
+    if (v <= 0xFFFFFF)
+        return 3;
+    return 4;
+}
+
+} // namespace
+
+CompressedBurst
+compressBurst(std::span<const std::uint32_t> words)
+{
+    assert(!words.empty() &&
+           words.size() <= static_cast<std::size_t>(kBurstWords));
+    std::uint32_t base = *std::min_element(words.begin(), words.end());
+    std::uint32_t max_off = 0;
+    for (std::uint32_t w : words)
+        max_off = std::max(max_off, w - base);
+
+    CompressedBurst cb;
+    cb.base_bytes = byteWidth(base);
+    cb.offset_bytes = byteWidth(max_off);
+    cb.size_bytes = 1 + cb.base_bytes + kBurstWords * cb.offset_bytes;
+    // Incompressible bursts fall back to raw data plus the header.
+    int raw = kBurstWords * 4;
+    if (cb.size_bytes > raw + 1)
+        cb.size_bytes = raw + 1;
+    return cb;
+}
+
+CompressionSummary
+compressStream(std::span<const std::uint32_t> words)
+{
+    CompressionSummary sum;
+    for (std::size_t i = 0; i < words.size(); i += kBurstWords) {
+        std::size_t n = std::min<std::size_t>(kBurstWords,
+                                              words.size() - i);
+        CompressedBurst cb = compressBurst(words.subspan(i, n));
+        sum.raw_bytes += kBurstWords * 4;
+        sum.compressed_bytes += cb.size_bytes;
+    }
+    return sum;
+}
+
+CompressionSummary
+compressPointerStream(std::span<const Index> pointers)
+{
+    std::vector<std::uint32_t> words(pointers.size());
+    for (std::size_t i = 0; i < pointers.size(); ++i)
+        words[i] = static_cast<std::uint32_t>(pointers[i]);
+    return compressStream(words);
+}
+
+} // namespace capstan::sim

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Read-only DRAM burst compression (Section 3.4, "Compressed Dense DRAM").
+ *
+ * Pointer tiles frequently hold closely-spaced values (e.g. repeated
+ * source-node ids in edge lists), so Capstan compresses each 64 B burst
+ * with a base/offset code: a one-byte header gives the base width and the
+ * per-element offset width, followed by the base and sixteen offsets.
+ * Compression happens ahead of time (no write or random-read support),
+ * which is what permits the dense encoding.
+ */
+
+#ifndef CAPSTAN_SIM_COMPRESSION_HPP
+#define CAPSTAN_SIM_COMPRESSION_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace capstan::sim {
+
+/** Words per 64 B burst (16 x 32-bit). */
+constexpr int kBurstWords = 16;
+
+/** Outcome of compressing one burst. */
+struct CompressedBurst
+{
+    std::uint8_t base_bytes;   //!< 0..4 bytes for the base value.
+    std::uint8_t offset_bytes; //!< 0..4 bytes per offset.
+    int size_bytes;            //!< Total encoded size incl. 1 B header.
+};
+
+/** Encode one burst of up to 16 words (shorter tails are padded). */
+CompressedBurst compressBurst(std::span<const std::uint32_t> words);
+
+/** Aggregate compressibility of a word stream, burst by burst. */
+struct CompressionSummary
+{
+    std::uint64_t raw_bytes = 0;
+    std::uint64_t compressed_bytes = 0;
+
+    /** Bandwidth amplification factor (>= 1). */
+    double ratio() const
+    {
+        if (compressed_bytes == 0)
+            return 1.0;
+        return static_cast<double>(raw_bytes) /
+               static_cast<double>(compressed_bytes);
+    }
+};
+
+/** Compress a whole stream (e.g. a pointer array) at burst granularity. */
+CompressionSummary compressStream(std::span<const std::uint32_t> words);
+
+/** Convenience for Index (int32) pointer arrays. */
+CompressionSummary compressPointerStream(std::span<const Index> pointers);
+
+} // namespace capstan::sim
+
+#endif // CAPSTAN_SIM_COMPRESSION_HPP

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Architectural configuration for the Capstan simulator (Table 7).
+ *
+ * A CapstanConfig captures every tunable the paper sweeps: SpMU issue-queue
+ * depth, crossbar speedup, allocator iterations/priorities, bank hashing,
+ * memory ordering mode, scanner width and output vectorization, shuffle
+ * merge mode, memory technology, and grid sizes. The named constructors
+ * (capstan(), plasticine(), ...) produce the paper's design points.
+ */
+
+#ifndef CAPSTAN_SIM_CONFIG_HPP
+#define CAPSTAN_SIM_CONFIG_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "sparse/types.hpp"
+
+namespace capstan::sim {
+
+/** Simulation time, in core clock cycles (1.6 GHz by default). */
+using Cycle = std::uint64_t;
+
+/** Maximum SIMD lanes per compute/memory unit; Table 7 fixes l = 16. */
+constexpr int kMaxLanes = 16;
+
+/** Off-chip memory technology points evaluated in the paper (Table 7). */
+enum class MemTech {
+    DDR4,   //!< DDR4-2133, 68 GB/s.
+    HBM2,   //!< HBM2, 900 GB/s.
+    HBM2E,  //!< HBM2E, 1800 GB/s (primary design point).
+    Ideal,  //!< Zero-latency, infinite-bandwidth (synthetic analyses).
+};
+
+/** Peak bandwidth for a technology point, in GB/s. */
+double memTechBandwidth(MemTech tech);
+
+/** Human-readable name. */
+std::string memTechName(MemTech tech);
+
+/** SpMU memory ordering modes (Table 3). */
+enum class Ordering {
+    Unordered,      //!< Accesses complete once, in arbitrary order.
+    AddressOrdered, //!< Same-address accesses keep program order.
+    FullyOrdered,   //!< All accesses complete in program order.
+    Arbitrated,     //!< Plasticine-style baseline: one vector at a time,
+                    //!< reordering only within the head vector.
+};
+
+std::string orderingName(Ordering mode);
+
+/** Bank-index mapping for SpMU addresses (Section 3.1). */
+enum class BankHash {
+    Linear, //!< Naive low-bits mapping; pathological for 2^n strides.
+    Xor,    //!< a[0:3] ^ a[4:7] ^ a[8:11] ^ a[12:15] nibble fold.
+};
+
+/** Allocator strength points used in Table 9. */
+enum class AllocatorKind {
+    Full, //!< Multi-iteration, multi-priority separable allocator.
+    Weak, //!< Single-iteration, single-priority (greedy) allocator.
+};
+
+/** Shuffle-network merge flexibility (Table 11). */
+enum class MergeMode {
+    None,  //!< No shuffle network: cross-tile accesses go through DRAM.
+    Mrg0,  //!< Merge without lane shifting.
+    Mrg1,  //!< Merge with +/- one lane of shifting (primary design).
+    Mrg16, //!< Full-crossbar shifting.
+};
+
+std::string mergeModeName(MergeMode mode);
+
+/** Sparse memory unit parameters (Section 3.1). */
+struct SpmuConfig
+{
+    int lanes = 16;           //!< SIMD lanes feeding the unit.
+    int banks = 16;           //!< SRAM banks (1R1W each).
+    int queue_depth = 16;     //!< Issue-queue depth d (vectors).
+    int input_speedup = 1;    //!< 1 => l x b crossbar; 2 => 2l x b.
+    int alloc_iterations = 3; //!< Separable-allocator iterations.
+    int priorities = 3;       //!< Age-priority classes (Table 4).
+    int words_per_bank = 4096;//!< 32-bit words per bank (256 KiB total).
+    BankHash hash = BankHash::Xor;
+    AllocatorKind allocator = AllocatorKind::Full;
+    Ordering ordering = Ordering::Unordered;
+    int bloom_entries = 128;  //!< Address-order Bloom filter size.
+    Cycle pipeline_latency = 2; //!< Grant -> data-back latency (Fig. 3b).
+    bool ideal = false;       //!< Ideal SpMU: no bank conflicts (Table 9).
+    /**
+     * Plasticine handicap: the memory has no RMW pipeline, so every
+     * read-modify-write lane issues twice (read, then write) and a
+     * vector containing modifications blocks younger vectors until it
+     * fully completes (Section 5, "Plasticine & Spatial").
+     */
+    bool rmw_blocks = false;
+    /**
+     * Plasticine handicap: statically banked memories serve ONE
+     * random-indexed access per cycle ("in the worst banking cases,
+     * each memory only supports one access per cycle, leaving 15 banks
+     * inactive", Section 5).
+     */
+    bool single_access = false;
+};
+
+/** Scanner parameters (Section 3.3). */
+struct ScannerConfig
+{
+    int window_bits = 256; //!< Bits examined per cycle (bit scanner).
+    int outputs = 16;      //!< Indices produced per cycle.
+    int data_elements = 16;//!< Elements examined per cycle (data scanner).
+};
+
+/** Shuffle-network parameters (Section 3.2). */
+struct ShuffleConfig
+{
+    MergeMode mode = MergeMode::Mrg1;
+    int ports = 16;         //!< Ports per network instance.
+    int fifo_depth = 64;    //!< Inverse-permutation FIFO entries.
+};
+
+/** DRAM system parameters (Section 3.4). */
+struct DramConfig
+{
+    MemTech tech = MemTech::HBM2E;
+    double clock_ghz = 1.6;   //!< Core clock used to convert GB/s.
+    int channels = 16;        //!< Independent channels.
+    int banks_per_channel = 16;
+    Cycle base_latency = 96;  //!< Closed-page access latency (cycles).
+    Cycle row_miss_penalty = 32;
+    int burst_bytes = 64;     //!< AG request granularity.
+    bool compression = false; //!< Read-only pointer-tile compression.
+    /** When positive, overrides the technology bandwidth (Fig. 5a). */
+    double bandwidth_override_gbps = 0.0;
+};
+
+/** Whole-chip configuration (Table 7 defaults). */
+struct CapstanConfig
+{
+    int grid_compute_units = 200;
+    int grid_memory_units = 200;
+    int address_generators = 80;
+    double clock_ghz = 1.6;
+    int vector_stages = 6;     //!< Map/reduce stages per CU.
+    Cycle network_hop_latency = 4; //!< Per-hop pipelined link latency.
+
+    SpmuConfig spmu;
+    ScannerConfig scanner;
+    ShuffleConfig shuffle;
+    DramConfig dram;
+
+    /** True when the unit has Capstan's sparse extensions at all. */
+    bool sparse_support = true;
+
+    /** Bytes transferred per core cycle for the DRAM technology. */
+    double dramBytesPerCycle() const;
+
+    /** The paper's primary Capstan design point. */
+    static CapstanConfig capstan(MemTech tech = MemTech::HBM2E);
+
+    /**
+     * The Plasticine baseline: no SpMU scheduling (arbitrated, one vector
+     * at a time), no scanner (scalar sparse iteration), no RMW support
+     * (read blocks on preceding write), no shuffle network.
+     */
+    static CapstanConfig plasticine(MemTech tech = MemTech::HBM2E);
+
+    /** Capstan with an ideal network and memory (Table 12, first row). */
+    static CapstanConfig ideal();
+};
+
+} // namespace capstan::sim
+
+#endif // CAPSTAN_SIM_CONFIG_HPP

@@ -1,0 +1,158 @@
+#include "sim/dram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace capstan::sim {
+
+namespace {
+
+/** Row size in bytes: what one activate opens in a bank. */
+constexpr std::uint64_t kRowBytes = 2048;
+
+} // namespace
+
+DramModel::DramModel(const DramConfig &cfg, double clock_ghz)
+    : cfg_(cfg),
+      bytes_per_cycle_((cfg.bandwidth_override_gbps > 0
+                            ? cfg.bandwidth_override_gbps
+                            : memTechBandwidth(cfg.tech)) /
+                       clock_ghz),
+      channel_bytes_per_cycle_(bytes_per_cycle_ / cfg.channels),
+      channel_free_(cfg.channels, 0),
+      banks_(static_cast<std::size_t>(cfg.channels) *
+             cfg.banks_per_channel)
+{
+    assert(cfg.channels > 0 && cfg.banks_per_channel > 0);
+    burst_cycles_ = std::max(1.0, cfg.burst_bytes /
+                                      channel_bytes_per_cycle_);
+}
+
+Cycle
+DramModel::access(std::uint64_t byte_addr, bool write, Cycle now)
+{
+    ++stats_.bursts;
+    stats_.bytes += cfg_.burst_bytes;
+    if (write)
+        ++stats_.writes;
+    else
+        ++stats_.reads;
+
+    if (cfg_.tech == MemTech::Ideal)
+        return now;
+
+    std::uint64_t burst = byte_addr / cfg_.burst_bytes;
+    int channel = static_cast<int>(burst % cfg_.channels);
+    std::uint64_t per_channel = burst / cfg_.channels;
+    int bank = static_cast<int>(per_channel % cfg_.banks_per_channel);
+    std::uint64_t row =
+        byte_addr / (kRowBytes * cfg_.channels * cfg_.banks_per_channel);
+
+    BankState &bs = banks_[static_cast<std::size_t>(channel) *
+                               cfg_.banks_per_channel +
+                           bank];
+    double service = burst_cycles_;
+    if (bs.open_row != row) {
+        service += static_cast<double>(cfg_.row_miss_penalty);
+        bs.open_row = row;
+        ++stats_.row_misses;
+    } else {
+        ++stats_.row_hits;
+    }
+
+    double start = std::max(static_cast<double>(now),
+                            channel_free_[channel]);
+    channel_free_[channel] = start + service;
+    return static_cast<Cycle>(start + service) + cfg_.base_latency;
+}
+
+Cycle
+DramModel::streamAccess(std::uint64_t bytes, Cycle now)
+{
+    ++stats_.bursts;
+    stats_.bytes += bytes;
+    ++stats_.reads;
+    if (cfg_.tech == MemTech::Ideal)
+        return now;
+    // Spread the transfer over every channel so streams and random
+    // bursts contend for the same bandwidth.
+    double per_channel = static_cast<double>(bytes) / cfg_.channels /
+                         channel_bytes_per_cycle_;
+    double done = 0.0;
+    for (double &free : channel_free_) {
+        free = std::max(static_cast<double>(now), free) + per_channel;
+        done = std::max(done, free);
+    }
+    return static_cast<Cycle>(done) + cfg_.base_latency;
+}
+
+AddressGenerator::AddressGenerator(DramModel &dram, int table_entries)
+    : dram_(dram), table_entries_(table_entries)
+{
+    assert(table_entries > 0);
+}
+
+Cycle
+AddressGenerator::atomicVector(std::span<const std::uint64_t> byte_addrs,
+                               Cycle now)
+{
+    Cycle done = now;
+    for (std::uint64_t addr : byte_addrs) {
+        std::uint64_t burst = addr / dram_.config().burst_bytes;
+        auto it = table_.find(burst);
+        if (it != table_.end()) {
+            BurstEntry &e = it->second;
+            // Chain onto the burst's arrival; a read racing an in-flight
+            // writeback pends until the write returns.
+            Cycle exec = std::max({now, e.ready_at, e.writeback_done}) + 1;
+            e.last_use = exec;
+            e.dirty = true;
+            ++hits_;
+            done = std::max(done, exec);
+            continue;
+        }
+        // Miss: evict the least-recently-used entry if full.
+        if (static_cast<int>(table_.size()) >= table_entries_) {
+            auto victim = table_.begin();
+            for (auto j = table_.begin(); j != table_.end(); ++j) {
+                if (j->second.last_use < victim->second.last_use)
+                    victim = j;
+            }
+            if (victim->second.dirty) {
+                dram_.access(victim->first * dram_.config().burst_bytes,
+                             true, now);
+                ++writebacks_;
+            }
+            table_.erase(victim);
+        }
+        Cycle ready = dram_.access(addr, false, now);
+        ++fetches_;
+        BurstEntry e;
+        e.ready_at = ready;
+        e.last_use = ready + 1;
+        e.dirty = true;
+        table_.emplace(burst, e);
+        done = std::max(done, ready + 1);
+    }
+    return done;
+}
+
+Cycle
+AddressGenerator::flush(Cycle now)
+{
+    Cycle done = now;
+    for (auto &[burst, e] : table_) {
+        if (e.dirty) {
+            done = std::max(
+                done, dram_.access(burst * dram_.config().burst_bytes,
+                                   true, std::max(now, e.ready_at)));
+            ++writebacks_;
+            e.dirty = false;
+        }
+    }
+    table_.clear();
+    return done;
+}
+
+} // namespace capstan::sim

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Off-chip memory model: channels, banks, row buffers, and the atomic
+ * address-generator pipeline (Section 3.4).
+ *
+ * The paper drives its simulator with Ramulator; Ramulator is not
+ * available offline, so this is a compact banked-DRAM substitute (see
+ * DESIGN.md #4): per-channel service queues at the technology's
+ * per-channel bandwidth, a row-buffer hit/miss model per bank, 64 B
+ * bursts, and a fixed pipeline latency. The three technology points are
+ * DDR4-2133 (68 GB/s), HBM2 (900 GB/s), and HBM2E (1800 GB/s).
+ *
+ * The AddressGenerator layers Capstan's atomic-DRAM support on top: it
+ * tracks outstanding bursts, coalesces accesses that hit a pending or
+ * buffered burst, executes read-modify-writes against the buffered data,
+ * and pends reads that would race an outstanding writeback.
+ */
+
+#ifndef CAPSTAN_SIM_DRAM_HPP
+#define CAPSTAN_SIM_DRAM_HPP
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/config.hpp"
+
+namespace capstan::sim {
+
+/** Aggregate DRAM statistics. */
+struct DramStats
+{
+    std::uint64_t bursts = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t row_hits = 0;
+    std::uint64_t row_misses = 0;
+    std::uint64_t bytes = 0;
+
+    double rowHitRate() const
+    {
+        std::uint64_t total = row_hits + row_misses;
+        return total == 0 ? 0.0
+                          : static_cast<double>(row_hits) / total;
+    }
+};
+
+/**
+ * Transaction-level banked DRAM model.
+ *
+ * access() returns the completion cycle of one 64 B burst given the
+ * current cycle; the model advances channel occupancy internally, so
+ * callers submit requests in non-decreasing `now` order per channel for
+ * sensible results (the executor steps time monotonically).
+ */
+class DramModel
+{
+  public:
+    DramModel(const DramConfig &cfg, double clock_ghz);
+
+    const DramConfig &config() const { return cfg_; }
+
+    /** Total bytes the system can move per core cycle. */
+    double bytesPerCycle() const { return bytes_per_cycle_; }
+
+    /** Completion cycle for a burst at @p byte_addr submitted at @p now. */
+    Cycle access(std::uint64_t byte_addr, bool write, Cycle now);
+
+    /**
+     * Completion cycle for a sequential stream of @p bytes submitted at
+     * @p now. Streams are bandwidth-limited and row-friendly: the bytes
+     * are spread across every channel (no row-miss penalty), so streams
+     * and random bursts share the same bandwidth ledger.
+     */
+    Cycle streamAccess(std::uint64_t bytes, Cycle now);
+
+    const DramStats &stats() const { return stats_; }
+    void resetStats() { stats_ = DramStats{}; }
+
+  private:
+    struct BankState
+    {
+        std::uint64_t open_row = ~0ull;
+    };
+
+    DramConfig cfg_;
+    double bytes_per_cycle_;        //!< Aggregate.
+    double channel_bytes_per_cycle_;
+    double burst_cycles_;           //!< Channel occupancy per burst.
+    std::vector<double> channel_free_;
+    std::vector<BankState> banks_;  //!< [channel * banks + bank].
+    DramStats stats_;
+};
+
+/**
+ * DRAM address generator with atomic read-modify-write support.
+ *
+ * Tracks up to `table_entries` outstanding 64 B bursts. Accesses hitting
+ * a buffered burst execute immediately; accesses to an in-flight burst
+ * chain onto its arrival; misses fetch the burst (evicting the oldest
+ * buffered burst with a writeback when full). A read arriving while its
+ * burst is being written back pends until the write completes, so reads
+ * never race writes.
+ */
+class AddressGenerator
+{
+  public:
+    AddressGenerator(DramModel &dram, int table_entries = 64);
+
+    /**
+     * Execute one vector of atomic word accesses at @p now.
+     * @return cycle when every lane has executed.
+     */
+    Cycle atomicVector(std::span<const std::uint64_t> byte_addrs, Cycle now);
+
+    /** Flush buffered dirty bursts; returns completion of the last. */
+    Cycle flush(Cycle now);
+
+    std::uint64_t coalescedHits() const { return hits_; }
+    std::uint64_t fetches() const { return fetches_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+
+  private:
+    struct BurstEntry
+    {
+        Cycle ready_at = 0;     //!< When the data is present.
+        Cycle last_use = 0;
+        bool dirty = false;
+        Cycle writeback_done = 0; //!< Reads must wait past this.
+    };
+
+    DramModel &dram_;
+    int table_entries_;
+    std::unordered_map<std::uint64_t, BurstEntry> table_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t fetches_ = 0;
+    std::uint64_t writebacks_ = 0;
+};
+
+} // namespace capstan::sim
+
+#endif // CAPSTAN_SIM_DRAM_HPP

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Scanner: vectorized sparse loop headers (Section 3.3, Fig. 3f).
+ *
+ * The bit-vector scanner combines two occupancy inputs (union or
+ * intersection), finds up to V set bits per cycle within a W-bit window,
+ * and emits dense indices plus prefix-sum compressed indices. The data
+ * scanner finds one non-zero element per cycle among E examined elements.
+ *
+ * The functional result (which indices come out) is defined by
+ * sparse::scan*; this model adds the paper's timing: a W-bit window costs
+ * at least one cycle even when it holds no set bits (the Scan stall class
+ * in Fig. 7), and a window with p set bits costs ceil(p / V) cycles.
+ */
+
+#ifndef CAPSTAN_SIM_SCANNER_HPP
+#define CAPSTAN_SIM_SCANNER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sparse/bitvector.hpp"
+#include "sparse/scan.hpp"
+
+namespace capstan::sim {
+
+/** Scan combine mode. */
+enum class ScanMode { Single, Intersect, Union };
+
+/** Timing outcome of scanning a region. */
+struct ScanTiming
+{
+    Cycle cycles = 0;          //!< Total scanner-occupied cycles.
+    Cycle empty_window_cycles = 0; //!< Cycles spent on all-zero windows.
+    std::uint64_t output_vectors = 0; //!< Emitted index vectors.
+    std::uint64_t outputs = 0; //!< Emitted loop indices (set bits found).
+};
+
+/**
+ * Cycle-cost model of the bit-vector scanner.
+ *
+ * Stateless; one instance per CU configuration.
+ */
+class ScannerModel
+{
+  public:
+    explicit ScannerModel(const ScannerConfig &cfg) : cfg_(cfg) {}
+
+    const ScannerConfig &config() const { return cfg_; }
+
+    /** Cycles to drain one window containing @p popcount set bits. */
+    Cycle cyclesForWindow(Index popcount) const;
+
+    /**
+     * Scan a whole region given per-window popcounts (after combining).
+     * The region is walked window by window; empty windows still burn a
+     * cycle each, which is how low-density inputs lose throughput.
+     */
+    ScanTiming scanRegion(const std::vector<Index> &window_popcounts) const;
+
+    /** Convenience: scan the combination of two bit-vectors. */
+    ScanTiming scanBitVectors(const sparse::BitVector &a,
+                              const sparse::BitVector &b,
+                              ScanMode mode) const;
+
+    /** Single-input variant. */
+    ScanTiming scanBitVector(const sparse::BitVector &a) const;
+
+    /**
+     * Data-scanner cost: examine @p elements values holding @p nonzeros
+     * non-zeros, emitting one non-zero per cycle while advancing at most
+     * data_elements per cycle.
+     */
+    Cycle dataScanCycles(Index elements, Index nonzeros) const;
+
+  private:
+    ScannerConfig cfg_;
+};
+
+} // namespace capstan::sim
+
+#endif // CAPSTAN_SIM_SCANNER_HPP

@@ -1,0 +1,283 @@
+#include "sim/shuffle.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace capstan::sim {
+
+namespace {
+
+/** Per-channel staging buffer depth between butterfly stages. */
+constexpr std::size_t kChannelDepth = 4;
+
+} // namespace
+
+int
+ShuffleVector::validCount() const
+{
+    int n = 0;
+    for (bool v : valid)
+        n += v ? 1 : 0;
+    return n;
+}
+
+ShuffleNetwork::ShuffleNetwork(const ShuffleConfig &cfg, int lanes)
+    : cfg_(cfg), lanes_(lanes)
+{
+    assert(cfg.ports >= 2 && std::has_single_bit(unsigned(cfg.ports)));
+    assert(lanes > 0 && lanes <= kMaxLanes);
+    stages_ = std::countr_zero(unsigned(cfg.ports));
+    channels_.assign(stages_, std::vector<Channel>(cfg.ports));
+    outputs_.assign(cfg.ports, Channel{});
+    in_flight_.assign(stages_, std::vector<int>(cfg.ports / 2, 0));
+}
+
+int
+ShuffleNetwork::shiftLimit() const
+{
+    switch (cfg_.mode) {
+      case MergeMode::Mrg0:
+        return 0;
+      case MergeMode::Mrg1:
+        return 1;
+      case MergeMode::Mrg16:
+        return lanes_;
+      case MergeMode::None:
+      default:
+        return -1; // Merging disabled entirely.
+    }
+}
+
+bool
+ShuffleNetwork::tryInject(int port, const ShuffleVector &v)
+{
+    assert(port >= 0 && port < cfg_.ports);
+    // Pure bypass: every lane already destined for this port's memory.
+    bool all_local = true;
+    for (int l = 0; l < lanes_; ++l) {
+        if (v.valid[l] && v.dst_port[l] != port)
+            all_local = false;
+    }
+    if (all_local) {
+        outputs_[port].fifo.push_back(v);
+        ++stats_.injected;
+        ++stats_.bypassed;
+        ++stats_.ejected;
+        return true;
+    }
+    Channel &ch = channels_[0][port];
+    if (ch.fifo.size() >= kChannelDepth)
+        return false;
+    ch.fifo.push_back(v);
+    ++stats_.injected;
+    return true;
+}
+
+bool
+ShuffleNetwork::tryMerge(ShuffleVector &a, const ShuffleVector &b) const
+{
+    int shift = shiftLimit();
+    if (shift < 0)
+        return false;
+    // Greedy lane packing: each entry of b lands on its own lane or a
+    // free lane within +/- shift. a's entries stay put (they already
+    // occupy their positional lanes).
+    ShuffleVector merged = a;
+    for (int l = 0; l < lanes_; ++l) {
+        if (!b.valid[l])
+            continue;
+        int placed = -1;
+        for (int d = 0; d <= shift && placed < 0; ++d) {
+            if (l - d >= 0 && !merged.valid[l - d])
+                placed = l - d;
+            else if (d > 0 && l + d < lanes_ && !merged.valid[l + d])
+                placed = l + d;
+        }
+        if (placed < 0)
+            return false;
+        merged.valid[placed] = true;
+        merged.addr[placed] = b.addr[l];
+        merged.dst_port[placed] = b.dst_port[l];
+        merged.src_lane[placed] = b.src_lane[l];
+        merged.tag[placed] = b.tag[l];
+    }
+    a = merged;
+    return true;
+}
+
+std::pair<ShuffleVector, ShuffleVector>
+ShuffleNetwork::splitOnBit(const ShuffleVector &v, int bit) const
+{
+    ShuffleVector lo = v;
+    ShuffleVector hi = v;
+    for (int l = 0; l < lanes_; ++l) {
+        if (!v.valid[l])
+            continue;
+        bool goes_hi = (v.dst_port[l] >> bit) & 1;
+        (goes_hi ? lo : hi).valid[l] = false;
+    }
+    return {lo, hi};
+}
+
+void
+ShuffleNetwork::step()
+{
+    ++stats_.cycles;
+    // Walk stages from last to first so a vector advances one stage per
+    // cycle (moving the later stages first frees room for earlier ones).
+    for (int s = stages_ - 1; s >= 0; --s) {
+        int bit = stages_ - 1 - s; // MSB first (Fig. 3e).
+        int group = cfg_.ports >> s;
+        int half = group / 2;
+        for (int base = 0; base < cfg_.ports; base += group) {
+            for (int off = 0; off < half; ++off) {
+                int p0 = base + off;
+                int p1 = base + off + half;
+                int unit = (base / group) * half + off;
+                if (in_flight_[s][unit] >=
+                    static_cast<int>(cfg_.fifo_depth)) {
+                    continue; // Inverse-permutation FIFO exhausted.
+                }
+
+                Channel &in0 = channels_[s][p0];
+                Channel &in1 = channels_[s][p1];
+                if (in0.fifo.empty() && in1.fifo.empty())
+                    continue;
+
+                // Split the head of each input on this stage's bit.
+                ShuffleVector lo_frags[2];
+                ShuffleVector hi_frags[2];
+                bool have[2] = {false, false};
+                Channel *ins[2] = {&in0, &in1};
+                for (int i = 0; i < 2; ++i) {
+                    if (ins[i]->fifo.empty())
+                        continue;
+                    have[i] = true;
+                    auto [lo, hi] = splitOnBit(ins[i]->fifo.front(), bit);
+                    if (lo.validCount() > 0 && hi.validCount() > 0) {
+                        // A real split: both halves need distinct ids so
+                        // reply bookkeeping stays unambiguous.
+                        lo.id = next_merged_id_++;
+                        hi.id = next_merged_id_++;
+                    }
+                    lo_frags[i] = lo;
+                    hi_frags[i] = hi;
+                }
+
+                // Merge fragments heading the same way.
+                auto combine = [&](ShuffleVector f[2])
+                    -> std::vector<ShuffleVector> {
+                    std::vector<ShuffleVector> out;
+                    bool v0 = have[0] && f[0].validCount() > 0;
+                    bool v1 = have[1] && f[1].validCount() > 0;
+                    if (v0 && v1) {
+                        ++stats_.merges_attempted;
+                        ShuffleVector m = f[0];
+                        if (tryMerge(m, f[1])) {
+                            ++stats_.merges_succeeded;
+                            m.id = next_merged_id_++;
+                            m.path = f[0].path;
+                            m.path.insert(m.path.end(), f[1].path.begin(),
+                                          f[1].path.end());
+                            out.push_back(std::move(m));
+                        } else {
+                            out.push_back(f[0]);
+                            out.push_back(f[1]);
+                        }
+                    } else if (v0) {
+                        out.push_back(f[0]);
+                    } else if (v1) {
+                        out.push_back(f[1]);
+                    }
+                    return out;
+                };
+
+                std::vector<ShuffleVector> to_lo = combine(lo_frags);
+                std::vector<ShuffleVector> to_hi = combine(hi_frags);
+
+                // Check downstream capacity before committing.
+                auto sinkRoom = [&](int port, std::size_t need) {
+                    if (s + 1 == stages_)
+                        return true; // Output buffers are drained by the
+                                     // consumer and unbounded here.
+                    return channels_[s + 1][port].fifo.size() + need <=
+                           kChannelDepth;
+                };
+                if (!sinkRoom(p0, to_lo.size()) ||
+                    !sinkRoom(p1, to_hi.size())) {
+                    continue;
+                }
+
+                // Commit: consume inputs, emit outputs.
+                for (int i = 0; i < 2; ++i) {
+                    if (have[i])
+                        ins[i]->fifo.pop_front();
+                }
+                auto emit = [&](std::vector<ShuffleVector> &vs, int port) {
+                    for (ShuffleVector &v : vs) {
+                        v.path.emplace_back(static_cast<std::int8_t>(s),
+                                            static_cast<std::int8_t>(unit));
+                        ++in_flight_[s][unit];
+                        if (s + 1 == stages_) {
+                            outputs_[port].fifo.push_back(std::move(v));
+                            ++stats_.ejected;
+                        } else {
+                            channels_[s + 1][port].fifo.push_back(
+                                std::move(v));
+                        }
+                    }
+                };
+                emit(to_lo, p0);
+                emit(to_hi, p1);
+            }
+        }
+    }
+}
+
+std::optional<ShuffleVector>
+ShuffleNetwork::tryEject(int port)
+{
+    assert(port >= 0 && port < cfg_.ports);
+    Channel &out = outputs_[port];
+    if (out.fifo.empty())
+        return std::nullopt;
+    ShuffleVector v = std::move(out.fifo.front());
+    out.fifo.pop_front();
+    if (auto_retire_) {
+        for (auto [s, u] : v.path)
+            --in_flight_[s][u];
+        v.path.clear();
+    } else {
+        paths_[v.id] = v.path;
+    }
+    return v;
+}
+
+void
+ShuffleNetwork::retire(std::uint64_t id)
+{
+    auto it = paths_.find(id);
+    if (it == paths_.end())
+        return;
+    for (auto [s, u] : it->second)
+        --in_flight_[s][u];
+    paths_.erase(it);
+}
+
+bool
+ShuffleNetwork::empty() const
+{
+    for (const auto &stage : channels_) {
+        for (const Channel &ch : stage) {
+            if (!ch.fifo.empty())
+                return false;
+        }
+    }
+    for (const Channel &ch : outputs_) {
+        if (!ch.fifo.empty())
+            return false;
+    }
+    return true;
+}
+
+} // namespace capstan::sim

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Shuffle network: butterfly of merge units (Section 3.2, Fig. 3d/3e).
+ *
+ * The shuffle network carries vectorized memory requests from outer-
+ * parallel compute units to the memory partition owning each address.
+ * Each stage of the butterfly partitions request vectors on one address
+ * bit and merges the two fragments heading the same way. Merge units may
+ * shift valid entries by at most +/- `shift` lanes (Mrg-0 / Mrg-1 /
+ * Mrg-16); when packing fails, the fragments serialize over two cycles.
+ * Every merge unit records its decisions in an inverse-permutation FIFO
+ * so replies can be un-shuffled; the FIFO depth bounds in-flight vectors
+ * and is what lets the network tolerate long memory latencies.
+ */
+
+#ifndef CAPSTAN_SIM_SHUFFLE_HPP
+#define CAPSTAN_SIM_SHUFFLE_HPP
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/config.hpp"
+
+namespace capstan::sim {
+
+/** A vector of requests travelling through the shuffle network. */
+struct ShuffleVector
+{
+    std::array<bool, kMaxLanes> valid{};
+    std::array<std::uint32_t, kMaxLanes> addr{};
+    std::array<int, kMaxLanes> dst_port{};
+    std::array<int, kMaxLanes> src_lane{}; //!< For inverse permutation.
+    /** Opaque per-lane tag (e.g. originating token id) carried along. */
+    std::array<std::uint64_t, kMaxLanes> tag{};
+    int src_port = 0;
+    std::uint64_t id = 0;
+    /** Merge units traversed, for inverse-permutation FIFO credits. */
+    std::vector<std::pair<std::int8_t, std::int8_t>> path;
+
+    int validCount() const;
+};
+
+/** Aggregate shuffle-network statistics. */
+struct ShuffleStats
+{
+    std::uint64_t injected = 0;
+    std::uint64_t ejected = 0;
+    std::uint64_t merges_attempted = 0;
+    std::uint64_t merges_succeeded = 0;
+    std::uint64_t bypassed = 0;
+    Cycle cycles = 0;
+};
+
+/**
+ * Cycle-stepped butterfly shuffle network.
+ *
+ * Ports must be a power of two. Usage per cycle: tryInject() work at the
+ * input ports, step(), then tryEject() delivered vectors at the output
+ * ports. retire() returns inverse-permutation FIFO credits once the
+ * memory reply has been consumed.
+ */
+class ShuffleNetwork
+{
+  public:
+    explicit ShuffleNetwork(const ShuffleConfig &cfg, int lanes = kMaxLanes);
+
+    int ports() const { return cfg_.ports; }
+    int stages() const { return stages_; }
+
+    /** Inject a request vector at input @p port. */
+    bool tryInject(int port, const ShuffleVector &v);
+
+    /** Advance one cycle: each stage moves/merges/splits vectors. */
+    void step();
+
+    /** Pop a delivered vector at output @p port, if any. */
+    std::optional<ShuffleVector> tryEject(int port);
+
+    /**
+     * Return one in-flight credit to every merge unit a delivered vector
+     * traversed (identified by its id). Call when the reply completes.
+     */
+    void retire(std::uint64_t id);
+
+    /**
+     * Automatically retire vectors as they are ejected. Convenient for
+     * callers that model reply latency externally; on by default.
+     */
+    void setAutoRetire(bool on) { auto_retire_ = on; }
+
+    /** True when nothing is buffered anywhere in the network. */
+    bool empty() const;
+
+    const ShuffleStats &stats() const { return stats_; }
+
+    /** Fraction of attempted merges that packed into one vector. */
+    double mergeSuccessRate() const
+    {
+        if (stats_.merges_attempted == 0)
+            return 1.0;
+        return static_cast<double>(stats_.merges_succeeded) /
+               static_cast<double>(stats_.merges_attempted);
+    }
+
+  private:
+    /** A merge unit's per-cycle output channel. */
+    struct Channel
+    {
+        std::deque<ShuffleVector> fifo; //!< Buffered vectors.
+    };
+
+    /**
+     * Try to pack @p b into @p a with the configured lane shift.
+     * @return true and mutates @p a on success.
+     */
+    bool tryMerge(ShuffleVector &a, const ShuffleVector &b) const;
+
+    /** Split @p v on destination-port bit @p bit. */
+    std::pair<ShuffleVector, ShuffleVector>
+    splitOnBit(const ShuffleVector &v, int bit) const;
+
+    int shiftLimit() const;
+
+    ShuffleConfig cfg_;
+    int lanes_;
+    int stages_;
+    /** channels_[stage][port]: buffering entering each stage. */
+    std::vector<std::vector<Channel>> channels_;
+    /** Delivered vectors per output port. */
+    std::vector<Channel> outputs_;
+    /** In-flight counts per (stage, merge unit) for FIFO credits. */
+    std::vector<std::vector<int>> in_flight_;
+    /** id -> traversed (stage, unit) pairs, for retire(). */
+    std::unordered_map<std::uint64_t,
+                       std::vector<std::pair<std::int8_t, std::int8_t>>>
+        paths_;
+    ShuffleStats stats_;
+    bool auto_retire_ = true;
+    std::uint64_t next_merged_id_ = 1ull << 48;
+};
+
+} // namespace capstan::sim
+
+#endif // CAPSTAN_SIM_SHUFFLE_HPP

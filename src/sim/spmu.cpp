@@ -1,0 +1,538 @@
+#include "sim/spmu.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+namespace capstan::sim {
+
+namespace {
+
+/** Multiplicative hash for Bloom indexing. */
+std::uint32_t
+mix32(std::uint32_t x)
+{
+    x ^= x >> 16;
+    x *= 0x7feb352dU;
+    x ^= x >> 15;
+    x *= 0x846ca68bU;
+    x ^= x >> 16;
+    return x;
+}
+
+} // namespace
+
+bool
+isReadOnly(AccessOp op)
+{
+    return op == AccessOp::Read;
+}
+
+int
+AccessVector::validCount() const
+{
+    int n = 0;
+    for (const LaneRequest &lr : lane)
+        n += lr.valid ? 1 : 0;
+    return n;
+}
+
+SparseMemoryUnit::SparseMemoryUnit(const SpmuConfig &cfg, bool with_storage)
+    : cfg_(cfg),
+      alloc_(cfg.lanes * cfg.input_speedup, cfg.banks,
+             cfg.allocator == AllocatorKind::Weak ? 1
+                                                  : cfg.alloc_iterations),
+      bloom_(cfg.bloom_entries, 0)
+{
+    assert(cfg.lanes > 0 && cfg.lanes <= kMaxLanes);
+    assert(cfg.banks > 0 && cfg.banks <= 32);
+    assert(cfg.input_speedup == 1 || cfg.input_speedup == 2);
+    if (with_storage)
+        storage_.assign(static_cast<std::size_t>(cfg.banks) *
+                            cfg.words_per_bank,
+                        Value{0});
+}
+
+int
+SparseMemoryUnit::bankOf(std::uint32_t addr) const
+{
+    if (cfg_.hash == BankHash::Linear)
+        return static_cast<int>(addr % cfg_.banks);
+    // Nibble fold: a[0:3] ^ a[4:7] ^ a[8:11] ^ a[12:15], reduced to the
+    // bank count (16 banks use the full 4-bit result).
+    std::uint32_t folded = (addr & 0xF) ^ ((addr >> 4) & 0xF) ^
+                           ((addr >> 8) & 0xF) ^ ((addr >> 12) & 0xF);
+    return static_cast<int>(folded % cfg_.banks);
+}
+
+std::size_t
+SparseMemoryUnit::bloomIndex(std::uint32_t addr) const
+{
+    return mix32(addr) % bloom_.size();
+}
+
+bool
+SparseMemoryUnit::bloomMayConflict(const AccessVector &av) const
+{
+    for (const LaneRequest &lr : av.lane) {
+        if (lr.valid && bloom_[bloomIndex(lr.addr)] > 0)
+            return true;
+    }
+    return false;
+}
+
+void
+SparseMemoryUnit::bloomInsert(const AccessVector &av)
+{
+    for (const LaneRequest &lr : av.lane) {
+        if (lr.valid)
+            ++bloom_[bloomIndex(lr.addr)];
+    }
+}
+
+std::vector<SparseMemoryUnit::Slot>
+SparseMemoryUnit::buildSlots(const AccessVector &av) const
+{
+    bool capstan_mode = cfg_.ordering != Ordering::Arbitrated;
+    bool split_mode = cfg_.ordering == Ordering::AddressOrdered;
+
+    std::vector<Slot> slots;
+    slots.emplace_back();
+    slots.back().av.id = av.id;
+    slots.back().dup_of.fill(-1);
+
+    // addr -> part index of the last access touching it.
+    std::unordered_map<std::uint32_t, int> last_part;
+    // addr -> lane of the part-0 read usable as an elision master.
+    std::unordered_map<std::uint32_t, int> read_master;
+
+    for (int l = 0; l < cfg_.lanes; ++l) {
+        const LaneRequest &lr = av.lane[l];
+        if (!lr.valid)
+            continue;
+        auto it = last_part.find(lr.addr);
+        if (it == last_part.end()) {
+            slots[0].av.lane[l] = lr;
+            last_part[lr.addr] = 0;
+            if (capstan_mode && isReadOnly(lr.op))
+                read_master[lr.addr] = l;
+            continue;
+        }
+        // Repeated-read elision: only legal when every prior access to
+        // this address is the part-0 read (no intervening write).
+        auto rm = read_master.find(lr.addr);
+        if (capstan_mode && isReadOnly(lr.op) && rm != read_master.end() &&
+            it->second == 0) {
+            slots[0].av.lane[l] = lr;
+            slots[0].dup_of[l] = static_cast<std::int8_t>(rm->second);
+            continue;
+        }
+        if (!split_mode) {
+            // Unordered / fully-ordered / arbitrated keep same-address
+            // lanes in one vector; the bank serializes them.
+            slots[0].av.lane[l] = lr;
+            continue;
+        }
+        // Address-ordered: defer to the part after the last one touching
+        // this address, so same-address accesses keep program order.
+        int part = it->second + 1;
+        while (static_cast<int>(slots.size()) <= part) {
+            slots.emplace_back();
+            slots.back().av.id = av.id;
+            slots.back().dup_of.fill(-1);
+        }
+        slots[part].av.lane[l] = lr;
+        it->second = part;
+    }
+
+    for (Slot &slot : slots) {
+        for (int l = 0; l < cfg_.lanes; ++l) {
+            if (slot.av.lane[l].valid && slot.dup_of[l] < 0) {
+                slot.pending |= static_cast<std::uint16_t>(1u << l);
+                // Plasticine RMW handicap: modifications need a second
+                // (write) pass after the read returns.
+                if (cfg_.rmw_blocks && !isReadOnly(slot.av.lane[l].op))
+                    slot.rmw_second_pass |=
+                        static_cast<std::uint16_t>(1u << l);
+            }
+        }
+    }
+    return slots;
+}
+
+bool
+SparseMemoryUnit::canEnqueue(const AccessVector &av) const
+{
+    if (cfg_.ordering == Ordering::AddressOrdered && bloomMayConflict(av))
+        return false;
+    int parts = 1;
+    if (cfg_.ordering == Ordering::AddressOrdered)
+        parts = static_cast<int>(buildSlots(av).size());
+    return static_cast<int>(queue_.size()) + parts <= cfg_.queue_depth;
+}
+
+bool
+SparseMemoryUnit::tryEnqueue(const AccessVector &av)
+{
+    if (!canEnqueue(av)) {
+        ++stats_.enqueue_stalls;
+        return false;
+    }
+    std::vector<Slot> slots = buildSlots(av);
+    stats_.splits += slots.size() - 1;
+    for (const Slot &s : slots) {
+        for (int l = 0; l < cfg_.lanes; ++l) {
+            if (s.dup_of[l] >= 0)
+                ++stats_.elided_reads;
+        }
+    }
+
+    MergeState &merge = merge_[av.id];
+    merge.remaining = static_cast<int>(slots.size());
+    merge.acc.id = av.id;
+
+    for (Slot &slot : slots) {
+        slot.enqueued_at = now_;
+        if (cfg_.ordering == Ordering::AddressOrdered) {
+            AccessVector non_elided = slot.av;
+            for (int l = 0; l < cfg_.lanes; ++l) {
+                if (slot.dup_of[l] >= 0)
+                    non_elided.lane[l].valid = false;
+            }
+            bloomInsert(non_elided);
+        }
+        queue_.push_back(std::move(slot));
+    }
+    ++stats_.vectors_in;
+    return true;
+}
+
+Value
+SparseMemoryUnit::executeOp(std::uint32_t addr, AccessOp op, Value operand)
+{
+    if (storage_.empty())
+        return Value{0};
+    Value &word = storage_[addr % storage_.size()];
+    Value old = word;
+    auto bits = [](Value v) { return std::bit_cast<std::uint32_t>(v); };
+    auto val = [](std::uint32_t b) { return std::bit_cast<Value>(b); };
+    switch (op) {
+      case AccessOp::Read:
+        return old;
+      case AccessOp::Write:
+        word = operand;
+        return operand;
+      case AccessOp::AddF32:
+        word = old + operand;
+        return word;
+      case AccessOp::AddI32:
+        word = val(bits(old) + bits(operand));
+        return word;
+      case AccessOp::Min:
+        word = std::min(old, operand);
+        return word;
+      case AccessOp::MinReportChanged:
+        word = std::min(old, operand);
+        return word < old ? Value{1} : Value{0};
+      case AccessOp::Max:
+        word = std::max(old, operand);
+        return word;
+      case AccessOp::TestAndSet:
+        if (old == Value{0})
+            word = Value{1};
+        return old;
+      case AccessOp::WriteIfZero:
+        if (old == Value{0})
+            word = operand;
+        return old;
+      case AccessOp::Swap:
+        word = operand;
+        return old;
+      case AccessOp::BitAnd:
+        word = val(bits(old) & bits(operand));
+        return word;
+      case AccessOp::BitOr:
+        word = val(bits(old) | bits(operand));
+        return word;
+      case AccessOp::BitXor:
+        word = val(bits(old) ^ bits(operand));
+        return word;
+    }
+    return Value{0};
+}
+
+void
+SparseMemoryUnit::issueLane(Slot &slot, int lane, int bank)
+{
+    assert(slot.pending & (1u << lane));
+    slot.pending &= static_cast<std::uint16_t>(~(1u << lane));
+    if (cfg_.ordering == Ordering::AddressOrdered) {
+        // Ordering is locked in once an access issues (same address =>
+        // same bank => in-order completion), so it stops conflicting.
+        std::size_t idx = bloomIndex(slot.av.lane[lane].addr);
+        assert(bloom_[idx] > 0);
+        --bloom_[idx];
+    }
+    slot.done_at[lane] = now_ + cfg_.pipeline_latency;
+    const LaneRequest &lr = slot.av.lane[lane];
+    slot.result[lane] = executeOp(lr.addr, lr.op, lr.operand);
+    ++stats_.grants;
+    if (trace_enabled_)
+        trace_.push_back({now_, lane, bank, slot.av.id});
+}
+
+int
+SparseMemoryUnit::priorityWindow(int iter) const
+{
+    int p = std::max(1, cfg_.priorities);
+    int d = cfg_.queue_depth;
+    if (iter < p - 1)
+        return std::max(1, d * (iter + 1) / p);
+    return d;
+}
+
+RequestMatrix
+SparseMemoryUnit::buildRequests(int window) const
+{
+    RequestMatrix req{};
+    req.fill(0);
+    int limit = std::min<int>(window, static_cast<int>(queue_.size()));
+    for (int s = 0; s < limit; ++s) {
+        const Slot &slot = queue_[s];
+        if (slot.pending == 0)
+            continue;
+        // With input speedup k, slot parity selects the virtual lane
+        // group, modelling the banked input queue.
+        int group = (cfg_.input_speedup > 1) ? (s % cfg_.input_speedup) : 0;
+        for (int l = 0; l < cfg_.lanes; ++l) {
+            if (slot.pending & (1u << l)) {
+                int vlane = group * cfg_.lanes + l;
+                req[vlane] |= 1u << bankOf(slot.av.lane[l].addr);
+            }
+        }
+    }
+    return req;
+}
+
+void
+SparseMemoryUnit::allocateScheduled()
+{
+    if (queue_.empty())
+        return;
+    int iters = alloc_.iterations();
+    std::vector<RequestMatrix> mats;
+    mats.reserve(iters);
+    for (int i = 0; i < iters; ++i)
+        mats.push_back(buildRequests(
+            cfg_.allocator == AllocatorKind::Weak ? cfg_.queue_depth
+                                                  : priorityWindow(i)));
+    AllocResult res = alloc_.allocate(mats);
+    for (int v = 0; v < alloc_.lanes(); ++v) {
+        int bank = res.bank_for_lane[v];
+        if (bank < 0)
+            continue;
+        int lane = v % cfg_.lanes;
+        int group = v / cfg_.lanes;
+        // Oldest-first priority encoder within the lane (Fig. 3, step 7).
+        for (std::size_t s = 0; s < queue_.size(); ++s) {
+            if (cfg_.input_speedup > 1 &&
+                static_cast<int>(s % cfg_.input_speedup) != group) {
+                continue;
+            }
+            Slot &slot = queue_[s];
+            if ((slot.pending & (1u << lane)) &&
+                bankOf(slot.av.lane[lane].addr) == bank) {
+                issueLane(slot, lane, bank);
+                break;
+            }
+        }
+    }
+}
+
+void
+SparseMemoryUnit::allocateFullyOrdered()
+{
+    // Issue a strictly program-ordered prefix of the oldest partially
+    // issued vector: lanes go in order and stop at the first bank
+    // conflict this cycle. Unlike the arbitrated baseline, younger
+    // lanes may not be reordered past the conflicting one, which is why
+    // this mode trails arbitration (Fig. 4).
+    for (Slot &slot : queue_) {
+        if (slot.pending == 0)
+            continue;
+        std::uint32_t banks_used = 0;
+        for (int l = 0; l < cfg_.lanes; ++l) {
+            if (!slot.av.lane[l].valid || slot.dup_of[l] >= 0)
+                continue;
+            if (!(slot.pending & (1u << l)))
+                continue;
+            int bank = bankOf(slot.av.lane[l].addr);
+            if (banks_used & (1u << bank))
+                return; // Everything younger waits for next cycle.
+            banks_used |= 1u << bank;
+            issueLane(slot, l, bank);
+        }
+        return; // One vector per cycle: no boundary crossing.
+    }
+}
+
+void
+SparseMemoryUnit::allocateArbitrated()
+{
+    // Plasticine-style: the oldest partially issued vector executes;
+    // each bank grants its lowest-numbered pending lane (reordering is
+    // allowed within the vectorized request, Section 2.3 of Table 3).
+    for (Slot &slot : queue_) {
+        if (slot.pending == 0 && slot.rmw_second_pass == 0)
+            continue;
+        if (slot.pending == 0 && slot.rmw_second_pass != 0) {
+            // RMW handicap second (write) pass: wait for every read to
+            // return, then the writes re-arbitrate for the banks. The
+            // vector keeps blocking younger ones throughout.
+            bool reads_back = true;
+            for (int l = 0; l < cfg_.lanes; ++l) {
+                if ((slot.rmw_second_pass & (1u << l)) &&
+                    slot.done_at[l] > now_) {
+                    reads_back = false;
+                }
+            }
+            if (!reads_back)
+                return;
+            slot.pending = slot.rmw_second_pass;
+            slot.rmw_second_pass = 0;
+        }
+        std::uint32_t banks_used = 0;
+        for (int l = 0; l < cfg_.lanes; ++l) {
+            if (!(slot.pending & (1u << l)))
+                continue;
+            int bank = bankOf(slot.av.lane[l].addr);
+            if (banks_used & (1u << bank))
+                continue;
+            banks_used |= 1u << bank;
+            issueLane(slot, l, bank);
+            if (cfg_.single_access)
+                return; // Static banking: one access per cycle.
+        }
+        return;
+    }
+}
+
+void
+SparseMemoryUnit::allocateIdeal()
+{
+    // No bank conflicts: up to `lanes` accesses issue per cycle.
+    int budget = cfg_.lanes;
+    for (Slot &slot : queue_) {
+        for (int l = 0; l < cfg_.lanes && budget > 0; ++l) {
+            if (slot.pending & (1u << l)) {
+                issueLane(slot, l, bankOf(slot.av.lane[l].addr));
+                --budget;
+            }
+        }
+        if (budget == 0)
+            break;
+    }
+}
+
+void
+SparseMemoryUnit::completeLanes()
+{
+    while (!queue_.empty()) {
+        Slot &head = queue_.front();
+        // First resolve directly-issued lanes, then elided duplicates of
+        // lanes that are now done.
+        for (int l = 0; l < cfg_.lanes; ++l) {
+            if (!head.av.lane[l].valid || (head.done & (1u << l)))
+                continue;
+            if (head.dup_of[l] < 0 && !(head.pending & (1u << l)) &&
+                !(head.rmw_second_pass & (1u << l)) &&
+                head.done_at[l] <= now_) {
+                head.done |= static_cast<std::uint16_t>(1u << l);
+            }
+        }
+        bool head_complete = true;
+        for (int l = 0; l < cfg_.lanes; ++l) {
+            if (!head.av.lane[l].valid)
+                continue;
+            if (head.dup_of[l] >= 0 &&
+                (head.done & (1u << head.dup_of[l]))) {
+                head.done |= static_cast<std::uint16_t>(1u << l);
+                head.result[l] = head.result[head.dup_of[l]];
+            }
+            if (!(head.done & (1u << l)))
+                head_complete = false;
+        }
+        if (!head_complete)
+            break;
+
+        // Fold this part into the merge record; emit once all parts of
+        // the original vector have drained (split vectors must not expose
+        // partial results to the consumer).
+        auto it = merge_.find(head.av.id);
+        assert(it != merge_.end());
+        MergeState &merge = it->second;
+        for (int l = 0; l < cfg_.lanes; ++l) {
+            if (head.av.lane[l].valid)
+                merge.acc.result[l] = head.result[l];
+        }
+        if (--merge.remaining == 0) {
+            merge.acc.completed_at = now_;
+            ready_.push_back(merge.acc);
+            merge_.erase(it);
+            ++stats_.vectors_out;
+        }
+        queue_.pop_front();
+    }
+}
+
+void
+SparseMemoryUnit::step()
+{
+    if (cfg_.ideal) {
+        allocateIdeal();
+    } else {
+        switch (cfg_.ordering) {
+          case Ordering::Unordered:
+          case Ordering::AddressOrdered:
+            allocateScheduled();
+            break;
+          case Ordering::FullyOrdered:
+            allocateFullyOrdered();
+            break;
+          case Ordering::Arbitrated:
+            allocateArbitrated();
+            break;
+        }
+    }
+    ++now_;
+    ++stats_.cycles;
+    completeLanes();
+}
+
+std::optional<CompletedVector>
+SparseMemoryUnit::tryDequeue()
+{
+    if (ready_.empty())
+        return std::nullopt;
+    CompletedVector cv = ready_.front();
+    ready_.pop_front();
+    return cv;
+}
+
+Value
+SparseMemoryUnit::peek(std::uint32_t addr) const
+{
+    assert(!storage_.empty());
+    return storage_[addr % storage_.size()];
+}
+
+void
+SparseMemoryUnit::poke(std::uint32_t addr, Value v)
+{
+    assert(!storage_.empty());
+    storage_[addr % storage_.size()] = v;
+}
+
+} // namespace capstan::sim

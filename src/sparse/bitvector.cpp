@@ -1,0 +1,201 @@
+#include "sparse/bitvector.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace capstan::sparse {
+
+namespace {
+
+constexpr Index kWordBits = 64;
+
+Index
+wordCount(Index bits)
+{
+    return (bits + kWordBits - 1) / kWordBits;
+}
+
+} // namespace
+
+BitVector::BitVector(Index size)
+    : size_(size), words_(wordCount(size), 0)
+{
+    assert(size >= 0);
+}
+
+BitVector::BitVector(Index size, const std::vector<Index> &set_positions)
+    : BitVector(size)
+{
+    for (Index pos : set_positions)
+        set(pos);
+}
+
+bool
+BitVector::test(Index pos) const
+{
+    assert(pos >= 0 && pos < size_);
+    return (words_[pos / kWordBits] >> (pos % kWordBits)) & 1;
+}
+
+void
+BitVector::set(Index pos)
+{
+    assert(pos >= 0 && pos < size_);
+    words_[pos / kWordBits] |= std::uint64_t{1} << (pos % kWordBits);
+}
+
+void
+BitVector::reset(Index pos)
+{
+    assert(pos >= 0 && pos < size_);
+    words_[pos / kWordBits] &= ~(std::uint64_t{1} << (pos % kWordBits));
+}
+
+void
+BitVector::assign(Index pos, bool value)
+{
+    if (value)
+        set(pos);
+    else
+        reset(pos);
+}
+
+void
+BitVector::clear()
+{
+    std::fill(words_.begin(), words_.end(), 0);
+}
+
+Index
+BitVector::count() const
+{
+    Index total = 0;
+    for (std::uint64_t w : words_)
+        total += std::popcount(w);
+    return total;
+}
+
+Index
+BitVector::rank(Index pos) const
+{
+    assert(pos >= 0 && pos <= size_);
+    Index full_words = pos / kWordBits;
+    Index total = 0;
+    for (Index i = 0; i < full_words; ++i)
+        total += std::popcount(words_[i]);
+    Index rem = pos % kWordBits;
+    if (rem > 0) {
+        std::uint64_t mask = (std::uint64_t{1} << rem) - 1;
+        total += std::popcount(words_[full_words] & mask);
+    }
+    return total;
+}
+
+Index
+BitVector::select(Index k) const
+{
+    if (k < 0)
+        return kNoIndex;
+    Index remaining = k;
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+        std::uint64_t w = words_[wi];
+        Index pc = std::popcount(w);
+        if (remaining < pc) {
+            // Peel set bits until the remaining-th one is exposed.
+            for (Index i = 0; i < remaining; ++i)
+                w &= w - 1;
+            return static_cast<Index>(wi) * kWordBits +
+                   std::countr_zero(w);
+        }
+        remaining -= pc;
+    }
+    return kNoIndex;
+}
+
+Index
+BitVector::nextSet(Index pos) const
+{
+    if (pos < 0)
+        pos = 0;
+    if (pos >= size_)
+        return kNoIndex;
+    Index wi = pos / kWordBits;
+    std::uint64_t w = words_[wi] >> (pos % kWordBits);
+    if (w != 0)
+        return pos + std::countr_zero(w);
+    for (++wi; wi < static_cast<Index>(words_.size()); ++wi) {
+        if (words_[wi] != 0)
+            return wi * kWordBits + std::countr_zero(words_[wi]);
+    }
+    return kNoIndex;
+}
+
+std::vector<Index>
+BitVector::toPositions() const
+{
+    std::vector<Index> out;
+    out.reserve(count());
+    for (Index pos = nextSet(0); pos != kNoIndex; pos = nextSet(pos + 1))
+        out.push_back(pos);
+    return out;
+}
+
+BitVector
+BitVector::operator&(const BitVector &other) const
+{
+    assert(size_ == other.size_);
+    BitVector out(size_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        out.words_[i] = words_[i] & other.words_[i];
+    return out;
+}
+
+BitVector
+BitVector::operator|(const BitVector &other) const
+{
+    assert(size_ == other.size_);
+    BitVector out(size_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        out.words_[i] = words_[i] | other.words_[i];
+    return out;
+}
+
+BitVector
+BitVector::andNot(const BitVector &other) const
+{
+    assert(size_ == other.size_);
+    BitVector out(size_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        out.words_[i] = words_[i] & ~other.words_[i];
+    return out;
+}
+
+bool
+BitVector::operator==(const BitVector &other) const
+{
+    return size_ == other.size_ && words_ == other.words_;
+}
+
+std::uint64_t
+BitVector::window64(Index pos) const
+{
+    assert(pos >= 0);
+    if (pos >= size_)
+        return 0;
+    Index wi = pos / kWordBits;
+    Index shift = pos % kWordBits;
+    std::uint64_t lo = words_[wi] >> shift;
+    if (shift != 0 && wi + 1 < static_cast<Index>(words_.size()))
+        lo |= words_[wi + 1] << (kWordBits - shift);
+    return lo;
+}
+
+void
+BitVector::maskTail()
+{
+    Index rem = size_ % kWordBits;
+    if (rem != 0 && !words_.empty())
+        words_.back() &= (std::uint64_t{1} << rem) - 1;
+}
+
+} // namespace capstan::sparse

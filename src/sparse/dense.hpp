@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Dense tensor containers used alongside the sparse formats.
+ *
+ * Capstan is a sparse-dense *hybrid*: output vectors, distance arrays,
+ * activation planes and the like stay dense. These are thin, bounds-checked
+ * row-major containers; nothing clever, just enough for the applications.
+ */
+
+#ifndef CAPSTAN_SPARSE_DENSE_HPP
+#define CAPSTAN_SPARSE_DENSE_HPP
+
+#include <cassert>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace capstan::sparse {
+
+/** Dense 1-D vector of Values. */
+class DenseVector
+{
+  public:
+    DenseVector() = default;
+    explicit DenseVector(Index size, Value fill = 0) : data_(size, fill) {}
+    explicit DenseVector(std::vector<Value> data) : data_(std::move(data)) {}
+
+    Index size() const { return static_cast<Index>(data_.size()); }
+
+    Value operator[](Index i) const
+    {
+        assert(i >= 0 && i < size());
+        return data_[i];
+    }
+    Value &operator[](Index i)
+    {
+        assert(i >= 0 && i < size());
+        return data_[i];
+    }
+
+    const std::vector<Value> &data() const { return data_; }
+    std::vector<Value> &data() { return data_; }
+
+    /** Number of non-zero elements (exact zero test). */
+    Index nnz() const;
+
+    Index64 storageBytes() const { return Index64{4} * size(); }
+
+  private:
+    std::vector<Value> data_;
+};
+
+/** Dense row-major 2-D matrix. */
+class DenseMatrix
+{
+  public:
+    DenseMatrix() = default;
+    DenseMatrix(Index rows, Index cols, Value fill = 0)
+        : rows_(rows), cols_(cols), data_(Index64(rows) * cols, fill)
+    {
+    }
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+
+    Value operator()(Index r, Index c) const
+    {
+        assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+        return data_[Index64(r) * cols_ + c];
+    }
+    Value &operator()(Index r, Index c)
+    {
+        assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+        return data_[Index64(r) * cols_ + c];
+    }
+
+    const std::vector<Value> &data() const { return data_; }
+
+    Index64 storageBytes() const { return Index64{4} * rows_ * cols_; }
+
+  private:
+    Index rows_ = 0;
+    Index cols_ = 0;
+    std::vector<Value> data_;
+};
+
+/** Dense row-major 3-D tensor (channel, row, col) for convolutions. */
+class DenseTensor3
+{
+  public:
+    DenseTensor3() = default;
+    DenseTensor3(Index d0, Index d1, Index d2, Value fill = 0)
+        : d0_(d0), d1_(d1), d2_(d2), data_(Index64(d0) * d1 * d2, fill)
+    {
+    }
+
+    Index dim0() const { return d0_; }
+    Index dim1() const { return d1_; }
+    Index dim2() const { return d2_; }
+
+    Value operator()(Index i, Index j, Index k) const
+    {
+        assert(inBounds(i, j, k));
+        return data_[(Index64(i) * d1_ + j) * d2_ + k];
+    }
+    Value &operator()(Index i, Index j, Index k)
+    {
+        assert(inBounds(i, j, k));
+        return data_[(Index64(i) * d1_ + j) * d2_ + k];
+    }
+
+    const std::vector<Value> &data() const { return data_; }
+
+    /** Number of non-zero elements. */
+    Index64 nnz() const;
+
+    Index64 storageBytes() const { return Index64{4} * d0_ * d1_ * d2_; }
+
+  private:
+    bool inBounds(Index i, Index j, Index k) const
+    {
+        return i >= 0 && i < d0_ && j >= 0 && j < d1_ && k >= 0 && k < d2_;
+    }
+
+    Index d0_ = 0, d1_ = 0, d2_ = 0;
+    std::vector<Value> data_;
+};
+
+/** Dense 4-D tensor (kr, kc, inCh, outCh) for convolution kernels. */
+class DenseTensor4
+{
+  public:
+    DenseTensor4() = default;
+    DenseTensor4(Index d0, Index d1, Index d2, Index d3, Value fill = 0)
+        : d0_(d0), d1_(d1), d2_(d2), d3_(d3),
+          data_(Index64(d0) * d1 * d2 * d3, fill)
+    {
+    }
+
+    Index dim0() const { return d0_; }
+    Index dim1() const { return d1_; }
+    Index dim2() const { return d2_; }
+    Index dim3() const { return d3_; }
+
+    Value operator()(Index i, Index j, Index k, Index l) const
+    {
+        return data_[((Index64(i) * d1_ + j) * d2_ + k) * d3_ + l];
+    }
+    Value &operator()(Index i, Index j, Index k, Index l)
+    {
+        return data_[((Index64(i) * d1_ + j) * d2_ + k) * d3_ + l];
+    }
+
+    const std::vector<Value> &data() const { return data_; }
+
+    Index64 nnz() const;
+
+    Index64 storageBytes() const
+    {
+        return Index64{4} * d0_ * d1_ * d2_ * d3_;
+    }
+
+  private:
+    Index d0_ = 0, d1_ = 0, d2_ = 0, d3_ = 0;
+    std::vector<Value> data_;
+};
+
+} // namespace capstan::sparse
+
+#endif // CAPSTAN_SPARSE_DENSE_HPP

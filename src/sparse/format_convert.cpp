@@ -1,0 +1,49 @@
+#include "sparse/format_convert.hpp"
+
+#include <cassert>
+
+namespace capstan::sparse {
+
+BitVector
+pointersToBitVector(std::span<const Index> pointers, Index space)
+{
+    BitVector bv(space);
+    for (Index p : pointers) {
+        if (p >= 0 && p < space)
+            bv.set(p);
+    }
+    return bv;
+}
+
+std::vector<Index>
+bitVectorToPointers(const BitVector &bv)
+{
+    return bv.toPositions();
+}
+
+std::vector<BitVector>
+pointersToWindows(std::span<const Index> pointers, Index space, Index width)
+{
+    assert(width > 0);
+    Index num_windows = (space + width - 1) / width;
+    std::vector<BitVector> windows(num_windows, BitVector(width));
+    for (Index p : pointers) {
+        if (p >= 0 && p < space)
+            windows[p / width].set(p % width);
+    }
+    return windows;
+}
+
+BitTree
+pointersToBitTree(std::span<const Index> pointers, Index space,
+                  Index leaf_bits)
+{
+    BitTree tree(space, leaf_bits);
+    for (Index p : pointers) {
+        if (p >= 0 && p < space)
+            tree.set(p);
+    }
+    return tree;
+}
+
+} // namespace capstan::sparse

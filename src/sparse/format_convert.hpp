@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Format-conversion primitives (Section 3.4, "Format Conversion").
+ *
+ * Capstan's iterators consume bit-vector occupancy, but compressed pointer
+ * lists are often more bandwidth-efficient in DRAM. Dedicated hardware in
+ * the compute tile converts pointer lists to bit-vectors (doing it in the
+ * SpMU would cause same-word bank conflicts). These are the functional
+ * equivalents, plus helpers that slice compressed rows into per-tile
+ * bit-vector windows for vectorized intersection.
+ */
+
+#ifndef CAPSTAN_SPARSE_FORMAT_CONVERT_HPP
+#define CAPSTAN_SPARSE_FORMAT_CONVERT_HPP
+
+#include <span>
+#include <vector>
+
+#include "sparse/bittree.hpp"
+#include "sparse/bitvector.hpp"
+#include "sparse/types.hpp"
+
+namespace capstan::sparse {
+
+/**
+ * Convert a sorted compressed pointer list into a bit-vector over
+ * [0, space). Pointers outside the range are ignored.
+ */
+BitVector pointersToBitVector(std::span<const Index> pointers, Index space);
+
+/** Convert a bit-vector back into a sorted pointer list. */
+std::vector<Index> bitVectorToPointers(const BitVector &bv);
+
+/**
+ * Slice a sorted pointer list into fixed-width bit-vector windows
+ * (window w covers [w*width, (w+1)*width)). Returns one BitVector per
+ * window covering [0, space); empty windows are all-zero vectors.
+ */
+std::vector<BitVector> pointersToWindows(std::span<const Index> pointers,
+                                         Index space, Index width);
+
+/** Convert a sorted pointer list into a two-level bit-tree. */
+BitTree pointersToBitTree(std::span<const Index> pointers, Index space,
+                          Index leaf_bits = 256);
+
+} // namespace capstan::sparse
+
+#endif // CAPSTAN_SPARSE_FORMAT_CONVERT_HPP

@@ -1,0 +1,226 @@
+#include "sparse/matrix.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace capstan::sparse {
+
+namespace {
+
+/** Sort row-major and sum duplicate coordinates in place. */
+void
+canonicalize(std::vector<Triplet> &triplets)
+{
+    std::sort(triplets.begin(), triplets.end(),
+              [](const Triplet &a, const Triplet &b) {
+                  if (a.row != b.row)
+                      return a.row < b.row;
+                  return a.col < b.col;
+              });
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < triplets.size(); ++i) {
+        if (out > 0 && triplets[out - 1].row == triplets[i].row &&
+            triplets[out - 1].col == triplets[i].col) {
+            triplets[out - 1].value += triplets[i].value;
+        } else {
+            triplets[out++] = triplets[i];
+        }
+    }
+    triplets.resize(out);
+}
+
+} // namespace
+
+CooMatrix
+CooMatrix::fromTriplets(Index rows, Index cols,
+                        std::vector<Triplet> triplets)
+{
+    canonicalize(triplets);
+    CooMatrix coo(rows, cols);
+    coo.entries_ = std::move(triplets);
+    return coo;
+}
+
+CsrMatrix
+CsrMatrix::fromTriplets(Index rows, Index cols,
+                        std::vector<Triplet> triplets)
+{
+    return fromCoo(CooMatrix::fromTriplets(rows, cols, std::move(triplets)));
+}
+
+CsrMatrix
+CsrMatrix::fromCoo(const CooMatrix &coo)
+{
+    CsrMatrix csr;
+    csr.rows_ = coo.rows();
+    csr.cols_ = coo.cols();
+    csr.row_ptr_.assign(csr.rows_ + 1, 0);
+    csr.col_idx_.reserve(coo.nnz());
+    csr.values_.reserve(coo.nnz());
+    for (const Triplet &t : coo.entries()) {
+        // Hard check even in release builds: silent out-of-range
+        // triplets would corrupt the row-pointer array.
+        if (t.row < 0 || t.row >= csr.rows_ || t.col < 0 ||
+            t.col >= csr.cols_) {
+            throw std::out_of_range(
+                "CsrMatrix::fromCoo: triplet outside matrix bounds");
+        }
+        ++csr.row_ptr_[t.row + 1];
+        csr.col_idx_.push_back(t.col);
+        csr.values_.push_back(t.value);
+    }
+    for (Index r = 0; r < csr.rows_; ++r)
+        csr.row_ptr_[r + 1] += csr.row_ptr_[r];
+    return csr;
+}
+
+std::span<const Index>
+CsrMatrix::rowIndices(Index r) const
+{
+    assert(r >= 0 && r < rows_);
+    return {col_idx_.data() + row_ptr_[r],
+            static_cast<std::size_t>(rowLength(r))};
+}
+
+std::span<const Value>
+CsrMatrix::rowValues(Index r) const
+{
+    assert(r >= 0 && r < rows_);
+    return {values_.data() + row_ptr_[r],
+            static_cast<std::size_t>(rowLength(r))};
+}
+
+Value
+CsrMatrix::at(Index r, Index c) const
+{
+    auto idx = rowIndices(r);
+    auto it = std::lower_bound(idx.begin(), idx.end(), c);
+    if (it == idx.end() || *it != c)
+        return Value{0};
+    return values_[row_ptr_[r] + (it - idx.begin())];
+}
+
+CooMatrix
+CsrMatrix::toCoo() const
+{
+    CooMatrix coo(rows_, cols_);
+    coo.entries_.reserve(nnz());
+    for (Index r = 0; r < rows_; ++r) {
+        auto idx = rowIndices(r);
+        auto val = rowValues(r);
+        for (std::size_t i = 0; i < idx.size(); ++i)
+            coo.entries_.push_back({r, idx[i], val[i]});
+    }
+    return coo;
+}
+
+CsrMatrix
+CsrMatrix::transpose() const
+{
+    CsrMatrix t;
+    t.rows_ = cols_;
+    t.cols_ = rows_;
+    t.row_ptr_.assign(t.rows_ + 1, 0);
+    t.col_idx_.resize(nnz());
+    t.values_.resize(nnz());
+    // Counting sort by column: stable, so rows stay sorted per output row.
+    for (Index c : col_idx_)
+        ++t.row_ptr_[c + 1];
+    for (Index r = 0; r < t.rows_; ++r)
+        t.row_ptr_[r + 1] += t.row_ptr_[r];
+    std::vector<Index> cursor(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
+    for (Index r = 0; r < rows_; ++r) {
+        for (Index i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+            Index slot = cursor[col_idx_[i]]++;
+            t.col_idx_[slot] = r;
+            t.values_[slot] = values_[i];
+        }
+    }
+    return t;
+}
+
+CscMatrix
+CscMatrix::fromTriplets(Index rows, Index cols,
+                        std::vector<Triplet> triplets)
+{
+    for (Triplet &t : triplets)
+        std::swap(t.row, t.col);
+    CscMatrix csc;
+    csc.t_ = CsrMatrix::fromTriplets(cols, rows, std::move(triplets));
+    return csc;
+}
+
+CscMatrix
+CscMatrix::fromCsr(const CsrMatrix &csr)
+{
+    CscMatrix csc;
+    csc.t_ = csr.transpose();
+    return csc;
+}
+
+CsrMatrix
+CscMatrix::toCsr() const
+{
+    return t_.transpose();
+}
+
+DcsrMatrix
+DcsrMatrix::fromCsr(const CsrMatrix &csr)
+{
+    DcsrMatrix d;
+    d.rows_ = csr.rows();
+    d.cols_ = csr.cols();
+    d.row_ptr_.push_back(0);
+    for (Index r = 0; r < csr.rows(); ++r) {
+        if (csr.rowLength(r) == 0)
+            continue;
+        d.row_ids_.push_back(r);
+        auto idx = csr.rowIndices(r);
+        auto val = csr.rowValues(r);
+        d.col_idx_.insert(d.col_idx_.end(), idx.begin(), idx.end());
+        d.values_.insert(d.values_.end(), val.begin(), val.end());
+        d.row_ptr_.push_back(static_cast<Index>(d.col_idx_.size()));
+    }
+    return d;
+}
+
+std::span<const Index>
+DcsrMatrix::storedRowIndices(Index sr) const
+{
+    assert(sr >= 0 && sr < storedRows());
+    return {col_idx_.data() + row_ptr_[sr],
+            static_cast<std::size_t>(row_ptr_[sr + 1] - row_ptr_[sr])};
+}
+
+std::span<const Value>
+DcsrMatrix::storedRowValues(Index sr) const
+{
+    assert(sr >= 0 && sr < storedRows());
+    return {values_.data() + row_ptr_[sr],
+            static_cast<std::size_t>(row_ptr_[sr + 1] - row_ptr_[sr])};
+}
+
+DcscMatrix
+DcscMatrix::fromCsr(const CsrMatrix &csr)
+{
+    DcscMatrix d;
+    d.t_ = DcsrMatrix::fromCsr(csr.transpose());
+    return d;
+}
+
+CsrMatrix
+DcsrMatrix::toCsr() const
+{
+    std::vector<Triplet> triplets;
+    triplets.reserve(nnz());
+    for (Index sr = 0; sr < storedRows(); ++sr) {
+        auto idx = storedRowIndices(sr);
+        auto val = storedRowValues(sr);
+        for (std::size_t i = 0; i < idx.size(); ++i)
+            triplets.push_back({row_ids_[sr], idx[i], val[i]});
+    }
+    return CsrMatrix::fromTriplets(rows_, cols_, std::move(triplets));
+}
+
+} // namespace capstan::sparse

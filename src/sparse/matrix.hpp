@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Compressed sparse matrix formats (Table 1): COO, CSR, CSC, DCSR.
+ *
+ * Any multi-dimensional format is a hierarchy of per-dimension formats
+ * (Section 2.1); these classes store the conventional array-of-arrays
+ * layouts and provide lossless conversions between one another. Values are
+ * kept in iteration order for the owning format (row-major for CSR/COO,
+ * column-major for CSC).
+ */
+
+#ifndef CAPSTAN_SPARSE_MATRIX_HPP
+#define CAPSTAN_SPARSE_MATRIX_HPP
+
+#include <span>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace capstan::sparse {
+
+/** One non-zero entry: (row, col, value). */
+struct Triplet
+{
+    Index row;
+    Index col;
+    Value value;
+
+    bool operator==(const Triplet &) const = default;
+};
+
+/**
+ * Coordinate (COO) format: a flat, row-major-sorted list of non-zeros.
+ * Best for extremely sparse data and value-order (edge-order) iteration;
+ * this is the format the PR-Edge and COO-SpMV applications stream.
+ */
+class CooMatrix
+{
+  public:
+    CooMatrix() = default;
+    CooMatrix(Index rows, Index cols) : rows_(rows), cols_(cols) {}
+
+    /** Build from unsorted triplets; duplicates are summed. */
+    static CooMatrix fromTriplets(Index rows, Index cols,
+                                  std::vector<Triplet> triplets);
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+    Index nnz() const { return static_cast<Index>(entries_.size()); }
+
+    const std::vector<Triplet> &entries() const { return entries_; }
+
+    /** Bytes a DRAM stream of this matrix moves (2 pointers + 1 value). */
+    Index64 storageBytes() const { return Index64{12} * nnz(); }
+
+  private:
+    friend class CsrMatrix;
+    Index rows_ = 0;
+    Index cols_ = 0;
+    std::vector<Triplet> entries_;
+};
+
+/**
+ * Compressed sparse row (CSR): dense along rows, compressed columns.
+ * row_ptr has rows()+1 entries; col_idx/values are sorted within a row.
+ */
+class CsrMatrix
+{
+  public:
+    CsrMatrix() = default;
+
+    /** Build from unsorted triplets; duplicates are summed. */
+    static CsrMatrix fromTriplets(Index rows, Index cols,
+                                  std::vector<Triplet> triplets);
+
+    /** Build from a row-major-sorted COO matrix. */
+    static CsrMatrix fromCoo(const CooMatrix &coo);
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+    Index nnz() const { return static_cast<Index>(col_idx_.size()); }
+
+    /** Number of stored entries in row @p r. */
+    Index rowLength(Index r) const { return row_ptr_[r + 1] - row_ptr_[r]; }
+
+    /** Column indices of row @p r. */
+    std::span<const Index> rowIndices(Index r) const;
+
+    /** Values of row @p r, aligned with rowIndices(). */
+    std::span<const Value> rowValues(Index r) const;
+
+    const std::vector<Index> &rowPtr() const { return row_ptr_; }
+    const std::vector<Index> &colIdx() const { return col_idx_; }
+    const std::vector<Value> &values() const { return values_; }
+
+    /** Stored value at (r, c), or 0 if absent. Binary search within row. */
+    Value at(Index r, Index c) const;
+
+    /** Lossless conversion to COO (row-major order). */
+    CooMatrix toCoo() const;
+
+    /** Transpose; turns CSR of A into CSR of A^T (= CSC of A). */
+    CsrMatrix transpose() const;
+
+    /** Bytes for streaming: row pointers + column indices + values. */
+    Index64 storageBytes() const
+    {
+        return Index64{4} * (rows_ + 1) + Index64{8} * nnz();
+    }
+
+  private:
+    Index rows_ = 0;
+    Index cols_ = 0;
+    std::vector<Index> row_ptr_;
+    std::vector<Index> col_idx_;
+    std::vector<Value> values_;
+};
+
+/**
+ * Compressed sparse column (CSC): dense along columns, compressed rows.
+ * Stored as the CSR of the transpose, with accessors named for columns.
+ */
+class CscMatrix
+{
+  public:
+    CscMatrix() = default;
+
+    static CscMatrix fromTriplets(Index rows, Index cols,
+                                  std::vector<Triplet> triplets);
+    static CscMatrix fromCsr(const CsrMatrix &csr);
+
+    Index rows() const { return t_.cols(); }
+    Index cols() const { return t_.rows(); }
+    Index nnz() const { return t_.nnz(); }
+
+    Index colLength(Index c) const { return t_.rowLength(c); }
+    std::span<const Index> colIndices(Index c) const
+    {
+        return t_.rowIndices(c);
+    }
+    std::span<const Value> colValues(Index c) const
+    {
+        return t_.rowValues(c);
+    }
+
+    const std::vector<Index> &colPtr() const { return t_.rowPtr(); }
+    const std::vector<Index> &rowIdx() const { return t_.colIdx(); }
+    const std::vector<Value> &values() const { return t_.values(); }
+
+    Value at(Index r, Index c) const { return t_.at(c, r); }
+
+    CsrMatrix toCsr() const;
+
+    Index64 storageBytes() const { return t_.storageBytes(); }
+
+  private:
+    /** CSR view of the transpose. */
+    CsrMatrix t_;
+};
+
+/**
+ * Doubly-compressed sparse row (DCSR): compressed rows *and* columns.
+ * Only non-empty rows are stored, making row iteration itself sparse.
+ */
+class DcsrMatrix
+{
+  public:
+    DcsrMatrix() = default;
+
+    static DcsrMatrix fromCsr(const CsrMatrix &csr);
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+    Index nnz() const { return static_cast<Index>(col_idx_.size()); }
+
+    /** Number of non-empty rows. */
+    Index storedRows() const { return static_cast<Index>(row_ids_.size()); }
+
+    /** Original row index of stored row @p sr. */
+    Index rowId(Index sr) const { return row_ids_[sr]; }
+
+    std::span<const Index> storedRowIndices(Index sr) const;
+    std::span<const Value> storedRowValues(Index sr) const;
+
+    CsrMatrix toCsr() const;
+
+    Index64 storageBytes() const
+    {
+        return Index64{4} * storedRows() * 2 + Index64{8} * nnz() + 4;
+    }
+
+  private:
+    Index rows_ = 0;
+    Index cols_ = 0;
+    std::vector<Index> row_ids_;
+    std::vector<Index> row_ptr_;
+    std::vector<Index> col_idx_;
+    std::vector<Value> values_;
+};
+
+/**
+ * Doubly-compressed sparse column (DCSC): compressed columns *and*
+ * rows — the column-major dual of DCSR (Table 1). Stored as the DCSR
+ * of the transpose, with accessors named for columns.
+ */
+class DcscMatrix
+{
+  public:
+    DcscMatrix() = default;
+
+    static DcscMatrix fromCsr(const CsrMatrix &csr);
+
+    Index rows() const { return t_.cols(); }
+    Index cols() const { return t_.rows(); }
+    Index nnz() const { return t_.nnz(); }
+
+    /** Number of non-empty columns. */
+    Index storedCols() const { return t_.storedRows(); }
+
+    /** Original column index of stored column @p sc. */
+    Index colId(Index sc) const { return t_.rowId(sc); }
+
+    std::span<const Index> storedColIndices(Index sc) const
+    {
+        return t_.storedRowIndices(sc);
+    }
+    std::span<const Value> storedColValues(Index sc) const
+    {
+        return t_.storedRowValues(sc);
+    }
+
+    CsrMatrix toCsr() const { return t_.toCsr().transpose(); }
+
+    Index64 storageBytes() const { return t_.storageBytes(); }
+
+  private:
+    /** DCSR view of the transpose. */
+    DcsrMatrix t_;
+};
+
+} // namespace capstan::sparse
+
+#endif // CAPSTAN_SPARSE_MATRIX_HPP

@@ -1,0 +1,76 @@
+#include "sparse/scan.hpp"
+
+#include <cassert>
+
+namespace capstan::sparse {
+
+namespace {
+
+enum class Mode { Single, Intersect, Union };
+
+std::vector<ScanEntry>
+scanImpl(const BitVector &a, const BitVector *b, Mode mode)
+{
+    BitVector merged = [&] {
+        switch (mode) {
+          case Mode::Single:
+            return a;
+          case Mode::Intersect:
+            return a & *b;
+          case Mode::Union:
+          default:
+            return a | *b;
+        }
+    }();
+
+    std::vector<ScanEntry> out;
+    out.reserve(merged.count());
+    // Walk set bits once, maintaining running ranks instead of calling
+    // rank() per position (rank() is linear in the prefix).
+    Index rank_a = 0;
+    Index rank_b = 0;
+    Index prev = 0;
+    Index jprime = 0;
+    for (Index j = merged.nextSet(0); j != kNoIndex;
+         j = merged.nextSet(j + 1)) {
+        rank_a += a.rank(j) - a.rank(prev);
+        if (b != nullptr)
+            rank_b += b->rank(j) - b->rank(prev);
+        prev = j;
+
+        ScanEntry e;
+        e.j = j;
+        e.jprime = jprime++;
+        e.j_a = a.test(j) ? rank_a : kNoIndex;
+        if (b == nullptr)
+            e.j_b = kNoIndex;
+        else
+            e.j_b = b->test(j) ? rank_b : kNoIndex;
+        out.push_back(e);
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<ScanEntry>
+scan(const BitVector &a)
+{
+    return scanImpl(a, nullptr, Mode::Single);
+}
+
+std::vector<ScanEntry>
+scanIntersect(const BitVector &a, const BitVector &b)
+{
+    assert(a.size() == b.size());
+    return scanImpl(a, &b, Mode::Intersect);
+}
+
+std::vector<ScanEntry>
+scanUnion(const BitVector &a, const BitVector &b)
+{
+    assert(a.size() == b.size());
+    return scanImpl(a, &b, Mode::Union);
+}
+
+} // namespace capstan::sparse

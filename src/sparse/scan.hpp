@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Functional semantics of Capstan's sparse scan (Section 2.2, Fig. 3f).
+ *
+ * A scan turns one or two occupancy bit-vectors into an iterable list of
+ * index tuples. For each position j where the combined (intersected or
+ * unioned) occupancy is set, the scanner emits:
+ *
+ *   j      - the dense index (position in the original index space),
+ *   jprime - the compressed iteration counter (0, 1, 2, ...),
+ *   jA     - the index into A's compressed payload (rank of j in A),
+ *            or kNoIndex when union mode hits a position absent from A,
+ *   jB     - likewise for B.
+ *
+ * These functions define *what* the hardware computes; the cycle-level
+ * model of *how fast* lives in sim/scanner.
+ */
+
+#ifndef CAPSTAN_SPARSE_SCAN_HPP
+#define CAPSTAN_SPARSE_SCAN_HPP
+
+#include <vector>
+
+#include "sparse/bitvector.hpp"
+#include "sparse/types.hpp"
+
+namespace capstan::sparse {
+
+/** One scan output tuple (the loop variables of a sparse Foreach). */
+struct ScanEntry
+{
+    Index j;       //!< Dense index.
+    Index jprime;  //!< Compressed iteration counter.
+    Index j_a;     //!< Compressed index into A, or kNoIndex.
+    Index j_b;     //!< Compressed index into B, or kNoIndex (two-input).
+
+    bool operator==(const ScanEntry &) const = default;
+};
+
+/** Scan a single bit-vector: jA tracks the compressed position in A. */
+std::vector<ScanEntry> scan(const BitVector &a);
+
+/** Intersection scan: positions set in both A and B. */
+std::vector<ScanEntry> scanIntersect(const BitVector &a, const BitVector &b);
+
+/**
+ * Union scan: positions set in either input; the side missing a position
+ * reports kNoIndex so the loop body can substitute an implicit zero.
+ */
+std::vector<ScanEntry> scanUnion(const BitVector &a, const BitVector &b);
+
+} // namespace capstan::sparse
+
+#endif // CAPSTAN_SPARSE_SCAN_HPP

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the Capstan libraries.
+ *
+ * Capstan is a 32-bit architecture: every vector lane carries a 32-bit
+ * fixed- or floating-point value, and on-chip addresses are 32-bit word
+ * addresses (Table 7: 16 banks x 4096 32-bit words per memory).
+ */
+
+#ifndef CAPSTAN_SPARSE_TYPES_HPP
+#define CAPSTAN_SPARSE_TYPES_HPP
+
+#include <cstdint>
+
+namespace capstan {
+
+/** Element index into a tensor dimension (rows, columns, non-zeros). */
+using Index = std::int32_t;
+
+/** Wide index for products of dimensions (e.g. nnz of a large graph). */
+using Index64 = std::int64_t;
+
+/** Numeric payload carried by one vector lane. */
+using Value = float;
+
+/** Sentinel index returned by union-mode scans for absent operands. */
+constexpr Index kNoIndex = -1;
+
+} // namespace capstan
+
+#endif // CAPSTAN_SPARSE_TYPES_HPP

@@ -1,0 +1,125 @@
+#include "workloads/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace capstan::workloads {
+
+namespace {
+
+Index
+scaled(Index value, double scale, Index floor_at = 64)
+{
+    return std::max<Index>(floor_at,
+                           static_cast<Index>(value * scale));
+}
+
+Index64
+scaled64(Index64 value, double scale, Index64 floor_at = 256)
+{
+    return std::max<Index64>(floor_at,
+                             static_cast<Index64>(value * scale));
+}
+
+} // namespace
+
+std::vector<std::string>
+linearAlgebraDatasetNames()
+{
+    return {"ckt11752_dc_1", "Trefethen_20000", "bcsstk30"};
+}
+
+std::vector<std::string>
+graphDatasetNames()
+{
+    return {"usroads-48", "web-Stanford", "flickr"};
+}
+
+std::vector<std::string>
+spmspmDatasetNames()
+{
+    return {"spaceStation_4", "qc324", "mbeacxc"};
+}
+
+std::vector<std::string>
+convDatasetNames()
+{
+    return {"ResNet-50 #1", "ResNet-50 #2", "ResNet-50 #29"};
+}
+
+MatrixDataset
+loadMatrixDataset(const std::string &name, double scale)
+{
+    // Published dimensions/nnz from Table 6; structure per DESIGN.md #4.
+    if (name == "ckt11752_dc_1") {
+        return {name, circuitMatrix(scaled(49702, scale),
+                                    scaled64(333029, scale), 0xC1C1)};
+    }
+    if (name == "Trefethen_20000") {
+        // nnz follows ~2 n log2(n) automatically (~554k at n = 20000).
+        return {name, trefethenMatrix(scaled(20000, scale))};
+    }
+    if (name == "bcsstk30") {
+        // 2,043,492 nnz over 28,924 rows: ~70 nnz/row in a narrow band.
+        Index n = scaled(28924, scale);
+        return {name, femMatrix(n, 70, std::max<Index>(72, n / 60),
+                                0xB30)};
+    }
+    if (name == "usroads-48") {
+        return {name, roadGraph(scaled(126146, scale), 0x0AD5)};
+    }
+    if (name == "web-Stanford") {
+        return {name, rmatGraph(scaled(281903, scale),
+                                scaled64(2312497, scale), 0x5EB,
+                                0.57, 0.19, 0.19)};
+    }
+    if (name == "flickr") {
+        return {name, rmatGraph(scaled(820878, scale),
+                                scaled64(9837214, scale), 0xF11C,
+                                0.55, 0.2, 0.2)};
+    }
+    if (name == "p2p-Gnutella31") {
+        return {name, rmatGraph(scaled(62586, scale),
+                                scaled64(147892, scale), 0x6AA7,
+                                0.5, 0.22, 0.22)};
+    }
+    if (name == "spaceStation_4") {
+        Index n = scaled(950, scale, 32);
+        return {name, uniformRandomMatrix(n, n, 0.016, 0x57A7)};
+    }
+    if (name == "qc324") {
+        Index n = scaled(324, scale, 32);
+        return {name, uniformRandomMatrix(n, n, 0.257, 0x0324)};
+    }
+    if (name == "mbeacxc") {
+        Index n = scaled(496, scale, 32);
+        return {name, uniformRandomMatrix(n, n, 0.203, 0x0496)};
+    }
+    throw std::invalid_argument("unknown matrix dataset: " + name);
+}
+
+ConvDataset
+loadConvDataset(const std::string &name, double scale)
+{
+    // Table 6: dim.kdim.inCh.outCh with activation/kernel densities.
+    auto channels = [&](Index ch) {
+        return std::max<Index>(8, static_cast<Index>(
+                                      ch * std::sqrt(scale)));
+    };
+    if (name == "ResNet-50 #1") {
+        return {name, convLayer(56, 1, channels(64), channels(64),
+                                0.443, 0.30, 0xA001)};
+    }
+    if (name == "ResNet-50 #2") {
+        return {name, convLayer(56, 3, channels(64), channels(64),
+                                0.237, 0.30, 0xA002)};
+    }
+    if (name == "ResNet-50 #29") {
+        return {name, convLayer(14, 3, channels(256), channels(256),
+                                0.828, 0.30, 0xA029)};
+    }
+    throw std::invalid_argument("unknown conv dataset: " + name);
+}
+
+} // namespace capstan::workloads

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Named dataset registry mirroring Table 6.
+ *
+ * Every dataset the paper evaluates has a synthetic structural stand-in
+ * here (DESIGN.md #4), generated at a configurable scale: scale 1.0
+ * matches the published dimensions and nnz; smaller scales shrink both
+ * proportionally so benchmark sweeps finish in reasonable wall-time
+ * (EXPERIMENTS.md records the scales used per experiment). As in the
+ * paper, p2p-Gnutella31 substitutes for flickr in sensitivity studies.
+ */
+
+#ifndef CAPSTAN_WORKLOADS_DATASETS_HPP
+#define CAPSTAN_WORKLOADS_DATASETS_HPP
+
+#include <string>
+#include <vector>
+
+#include "workloads/synth.hpp"
+
+namespace capstan::workloads {
+
+/** A named sparse-matrix dataset (linear algebra or graph). */
+struct MatrixDataset
+{
+    std::string name;
+    CsrMatrix matrix;
+
+    Index rows() const { return matrix.rows(); }
+    Index nnz() const { return matrix.nnz(); }
+};
+
+/** Datasets used for SpMV, M+M, and BiCGStab (Table 6, top). */
+std::vector<std::string> linearAlgebraDatasetNames();
+
+/** Datasets used for PR, BFS, and SSSP (Table 6, middle). */
+std::vector<std::string> graphDatasetNames();
+
+/** Datasets used for SpMSpM (Table 6, lower-middle). */
+std::vector<std::string> spmspmDatasetNames();
+
+/** Convolution layer names (Table 6, bottom). */
+std::vector<std::string> convDatasetNames();
+
+/**
+ * Generate a matrix/graph dataset by Table 6 name at @p scale.
+ * Throws std::invalid_argument for unknown names.
+ */
+MatrixDataset loadMatrixDataset(const std::string &name,
+                                double scale = 1.0);
+
+/** A named convolution layer. */
+struct ConvDataset
+{
+    std::string name;
+    ConvLayer layer;
+};
+
+/** Generate a ResNet-50 layer dataset by name at @p scale. */
+ConvDataset loadConvDataset(const std::string &name, double scale = 1.0);
+
+} // namespace capstan::workloads
+
+#endif // CAPSTAN_WORKLOADS_DATASETS_HPP

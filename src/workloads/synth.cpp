@@ -1,0 +1,234 @@
+#include "workloads/synth.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <random>
+#include <unordered_set>
+
+namespace capstan::workloads {
+
+using sparse::Triplet;
+
+namespace {
+
+float
+randomValue(std::mt19937 &rng)
+{
+    return std::uniform_real_distribution<float>(0.1f, 1.0f)(rng);
+}
+
+} // namespace
+
+CsrMatrix
+circuitMatrix(Index n, Index64 target_nnz, std::uint32_t seed)
+{
+    assert(n > 1);
+    std::mt19937 rng(seed);
+    std::vector<Triplet> trip;
+    trip.reserve(target_nnz);
+    // Diagonal (every node has a self conductance).
+    for (Index i = 0; i < n; ++i)
+        trip.push_back({i, i, 1.0f + randomValue(rng)});
+    // Two-terminal stamps: (i,i), (j,j) already present; add (i,j) and
+    // (j,i). Mild locality: most components connect nearby nodes.
+    std::normal_distribution<double> near(0.0, n / 64.0);
+    std::uniform_int_distribution<Index> anywhere(0, n - 1);
+    while (static_cast<Index64>(trip.size()) < target_nnz) {
+        Index i = anywhere(rng);
+        Index j;
+        if (rng() % 8 != 0) {
+            double d = near(rng);
+            j = std::clamp<Index>(i + static_cast<Index>(d), 0, n - 1);
+        } else {
+            j = anywhere(rng); // Long-range nets (power rails, clocks).
+        }
+        if (i == j)
+            continue;
+        float g = randomValue(rng);
+        trip.push_back({i, j, -g});
+        trip.push_back({j, i, -g});
+    }
+    return CsrMatrix::fromTriplets(n, n, std::move(trip));
+}
+
+CsrMatrix
+trefethenMatrix(Index n)
+{
+    std::vector<Triplet> trip;
+    for (Index i = 0; i < n; ++i) {
+        trip.push_back({i, i, static_cast<float>(i + 1)});
+        for (Index off = 1; off < n; off *= 2) {
+            if (i + off < n) {
+                trip.push_back({i, i + off, 1.0f});
+                trip.push_back({i + off, i, 1.0f});
+            }
+        }
+    }
+    return CsrMatrix::fromTriplets(n, n, std::move(trip));
+}
+
+CsrMatrix
+femMatrix(Index n, Index nnz_per_row, Index bandwidth, std::uint32_t seed)
+{
+    assert(bandwidth > nnz_per_row);
+    std::mt19937 rng(seed);
+    std::vector<Triplet> trip;
+    trip.reserve(static_cast<Index64>(n) * nnz_per_row);
+    // Each row couples to a clustered set of neighbours inside the
+    // band: pick a handful of cluster centres, fill runs around them.
+    std::uniform_int_distribution<Index> offset(-bandwidth, bandwidth);
+    std::unordered_set<Index> row_cols;
+    for (Index i = 0; i < n; ++i) {
+        trip.push_back({i, i, 10.0f});
+        row_cols.clear();
+        row_cols.insert(i);
+        int attempts = 0;
+        while (static_cast<Index>(row_cols.size()) < nnz_per_row &&
+               attempts < 8 * nnz_per_row) {
+            Index centre = std::clamp<Index>(i + offset(rng), 0, n - 1);
+            Index run = std::min<Index>(
+                6, nnz_per_row - static_cast<Index>(row_cols.size()));
+            for (Index k = 0; k < run; ++k) {
+                Index j = std::clamp<Index>(centre + k, 0, n - 1);
+                if (row_cols.insert(j).second)
+                    trip.push_back({i, j, -1.0f - randomValue(rng)});
+            }
+            ++attempts;
+        }
+    }
+    return CsrMatrix::fromTriplets(n, n, std::move(trip));
+}
+
+CsrMatrix
+roadGraph(Index n, std::uint32_t seed)
+{
+    std::mt19937 rng(seed);
+    Index side = std::max<Index>(2, static_cast<Index>(std::sqrt(n)));
+    std::vector<Triplet> trip;
+    // Grid roads with gaps: ~65% of grid links exist, giving the low
+    // average degree (~2.6) of the US road network; weights are travel
+    // times for SSSP.
+    auto id = [&](Index r, Index c) { return r * side + c; };
+    for (Index r = 0; r < side; ++r) {
+        for (Index c = 0; c < side; ++c) {
+            Index u = id(r, c);
+            if (u >= n)
+                continue;
+            if (c + 1 < side && id(r, c + 1) < n && rng() % 100 < 65) {
+                float w = 1.0f + randomValue(rng);
+                trip.push_back({u, id(r, c + 1), w});
+                trip.push_back({id(r, c + 1), u, w});
+            }
+            if (r + 1 < side && id(r + 1, c) < n && rng() % 100 < 65) {
+                float w = 1.0f + randomValue(rng);
+                trip.push_back({u, id(r + 1, c), w});
+                trip.push_back({id(r + 1, c), u, w});
+            }
+        }
+    }
+    return CsrMatrix::fromTriplets(n, n, std::move(trip));
+}
+
+CsrMatrix
+rmatGraph(Index n, Index64 edges, std::uint32_t seed, double a, double b,
+          double c)
+{
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> uni(0.0, 1.0);
+    int levels = 0;
+    while ((Index{1} << levels) < n)
+        ++levels;
+    Index size = Index{1} << levels;
+    std::vector<Triplet> trip;
+    trip.reserve(edges);
+    for (Index64 e = 0; e < edges; ++e) {
+        Index row = 0;
+        Index col = 0;
+        for (int l = 0; l < levels; ++l) {
+            double p = uni(rng);
+            // Quadrant probabilities with slight noise to avoid exact
+            // self-similarity artifacts.
+            if (p < a) {
+                // top-left
+            } else if (p < a + b) {
+                col |= size >> (l + 1);
+            } else if (p < a + b + c) {
+                row |= size >> (l + 1);
+            } else {
+                row |= size >> (l + 1);
+                col |= size >> (l + 1);
+            }
+        }
+        if (row >= n || col >= n || row == col)
+            continue;
+        trip.push_back({row, col, 1.0f});
+    }
+    return CsrMatrix::fromTriplets(n, n, std::move(trip));
+}
+
+CsrMatrix
+uniformRandomMatrix(Index rows, Index cols, double density,
+                    std::uint32_t seed)
+{
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> uni(0.0, 1.0);
+    std::vector<Triplet> trip;
+    trip.reserve(static_cast<Index64>(rows * cols * density * 1.05));
+    for (Index r = 0; r < rows; ++r) {
+        for (Index c = 0; c < cols; ++c) {
+            if (uni(rng) < density)
+                trip.push_back({r, c, randomValue(rng)});
+        }
+    }
+    return CsrMatrix::fromTriplets(rows, cols, std::move(trip));
+}
+
+DenseVector
+sparseVector(Index n, double density, std::uint32_t seed)
+{
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> uni(0.0, 1.0);
+    DenseVector v(n);
+    for (Index i = 0; i < n; ++i) {
+        if (uni(rng) < density)
+            v[i] = randomValue(rng);
+    }
+    return v;
+}
+
+ConvLayer
+convLayer(Index dim, Index kdim, Index in_channels, Index out_channels,
+          double act_density, double kernel_density, std::uint32_t seed)
+{
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> uni(0.0, 1.0);
+    ConvLayer layer;
+    layer.dim = dim;
+    layer.kdim = kdim;
+    layer.in_channels = in_channels;
+    layer.out_channels = out_channels;
+    layer.activations = DenseTensor3(in_channels, dim, dim);
+    for (Index ch = 0; ch < in_channels; ++ch) {
+        for (Index r = 0; r < dim; ++r) {
+            for (Index cc = 0; cc < dim; ++cc) {
+                if (uni(rng) < act_density)
+                    layer.activations(ch, r, cc) = randomValue(rng);
+            }
+        }
+    }
+    layer.kernel = DenseTensor4(kdim, kdim, in_channels, out_channels);
+    for (Index kr = 0; kr < kdim; ++kr) {
+        for (Index kc = 0; kc < kdim; ++kc) {
+            for (Index ic = 0; ic < in_channels; ++ic) {
+                for (Index oc = 0; oc < out_channels; ++oc) {
+                    if (uni(rng) < kernel_density)
+                        layer.kernel(kr, kc, ic, oc) = randomValue(rng);
+                }
+            }
+        }
+    }
+    return layer;
+}
+
+} // namespace capstan::workloads

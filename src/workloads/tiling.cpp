@@ -1,0 +1,74 @@
+#include "workloads/tiling.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace capstan::workloads {
+
+double
+Tiling::imbalance() const
+{
+    Index64 total = 0;
+    Index64 max_w = 0;
+    for (Index64 w : weight_of_) {
+        total += w;
+        max_w = std::max(max_w, w);
+    }
+    if (total == 0 || weight_of_.empty())
+        return 1.0;
+    double mean = static_cast<double>(total) / weight_of_.size();
+    return mean > 0 ? max_w / mean : 1.0;
+}
+
+Tiling
+Tiling::byWeight(const sparse::CsrMatrix &m, int tiles)
+{
+    assert(tiles > 0);
+    Tiling t;
+    t.rows_of_.resize(tiles);
+    t.weight_of_.assign(tiles, 0);
+    t.tile_of_.resize(m.rows());
+    t.local_of_.resize(m.rows());
+
+    Index64 total = 0;
+    for (Index r = 0; r < m.rows(); ++r)
+        total += std::max<Index>(1, m.rowLength(r));
+    Index64 per_tile = (total + tiles - 1) / tiles;
+
+    int cur = 0;
+    Index64 acc = 0;
+    for (Index r = 0; r < m.rows(); ++r) {
+        Index64 w = std::max<Index>(1, m.rowLength(r));
+        if (acc + w > per_tile && cur + 1 < tiles && acc > 0) {
+            ++cur;
+            acc = 0;
+        }
+        acc += w;
+        t.tile_of_[r] = cur;
+        t.local_of_[r] = static_cast<Index>(t.rows_of_[cur].size());
+        t.rows_of_[cur].push_back(r);
+        t.weight_of_[cur] += w;
+    }
+    return t;
+}
+
+Tiling
+Tiling::roundRobin(Index rows, int tiles)
+{
+    assert(tiles > 0);
+    Tiling t;
+    t.rows_of_.resize(tiles);
+    t.weight_of_.assign(tiles, 0);
+    t.tile_of_.resize(rows);
+    t.local_of_.resize(rows);
+    for (Index r = 0; r < rows; ++r) {
+        int tile = static_cast<int>(r % tiles);
+        t.tile_of_[r] = tile;
+        t.local_of_[r] = static_cast<Index>(t.rows_of_[tile].size());
+        t.rows_of_[tile].push_back(r);
+        t.weight_of_[tile] += 1;
+    }
+    return t;
+}
+
+} // namespace capstan::workloads

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit and property tests for the two-level bit-tree format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "sparse/bittree.hpp"
+
+using capstan::Index;
+using capstan::kNoIndex;
+using capstan::sparse::AlignedLeafPair;
+using capstan::sparse::alignIntersect;
+using capstan::sparse::alignUnion;
+using capstan::sparse::BitTree;
+using capstan::sparse::BitVector;
+
+TEST(BitTree, EmptyTreeHasNoLeaves)
+{
+    BitTree tree(262144, 512);
+    EXPECT_EQ(tree.count(), 0);
+    EXPECT_EQ(tree.leafCount(), 0);
+    // The paper's headline: 262,144 zeros encoded in 512 bits (64 bytes).
+    EXPECT_EQ(tree.storageBytes(), 64);
+}
+
+TEST(BitTree, SetMaterializesOnlyTouchedLeaves)
+{
+    BitTree tree(1024, 256);
+    tree.set(0);
+    tree.set(255);
+    tree.set(900);
+    EXPECT_EQ(tree.count(), 3);
+    EXPECT_EQ(tree.leafCount(), 2); // leaves 0 and 3
+    EXPECT_TRUE(tree.test(0));
+    EXPECT_TRUE(tree.test(255));
+    EXPECT_TRUE(tree.test(900));
+    EXPECT_FALSE(tree.test(256));
+    EXPECT_TRUE(tree.topLevel().test(0));
+    EXPECT_FALSE(tree.topLevel().test(1));
+    EXPECT_FALSE(tree.topLevel().test(2));
+    EXPECT_TRUE(tree.topLevel().test(3));
+}
+
+TEST(BitTree, OutOfOrderInsertionKeepsLeavesSorted)
+{
+    BitTree tree(1024, 256);
+    tree.set(900); // leaf 3 first
+    tree.set(10);  // leaf 0 second: must insert *before* leaf 3
+    EXPECT_EQ(tree.leafCount(), 2);
+    EXPECT_TRUE(tree.leaf(0).test(10));
+    EXPECT_TRUE(tree.leaf(1).test(900 - 768));
+}
+
+TEST(BitTree, RoundTripsThroughBitVector)
+{
+    BitVector bv(2048, {0, 1, 511, 512, 1000, 2047});
+    BitTree tree = BitTree::fromBitVector(bv, 256);
+    EXPECT_EQ(tree.toBitVector(), bv);
+    EXPECT_EQ(tree.toPositions(), bv.toPositions());
+}
+
+TEST(BitTree, StorageShrinksForClusteredData)
+{
+    // Clustered non-zeros touch few leaves; the flat vector pays for all.
+    Index space = 1 << 18;
+    std::vector<Index> cluster;
+    for (Index i = 0; i < 200; ++i)
+        cluster.push_back(1000 + i);
+    BitTree tree = BitTree::fromPositions(space, cluster, 256);
+    BitVector flat(space, cluster);
+    EXPECT_LT(tree.storageBytes(), flat.storageBytes() / 100);
+}
+
+TEST(BitTreeAlign, IntersectKeepsOnlySharedLeaves)
+{
+    BitTree a = BitTree::fromPositions(1024, {10, 300, 900}, 256);
+    BitTree b = BitTree::fromPositions(1024, {20, 310}, 256);
+    // a occupies leaves {0,1,3}; b occupies leaves {0,1}.
+    auto pairs = alignIntersect(a, b);
+    ASSERT_EQ(pairs.size(), 2u);
+    EXPECT_EQ(pairs[0].top_slot, 0);
+    EXPECT_EQ(pairs[0].leaf_a, 0);
+    EXPECT_EQ(pairs[0].leaf_b, 0);
+    EXPECT_EQ(pairs[1].top_slot, 1);
+    EXPECT_EQ(pairs[1].leaf_a, 1);
+    EXPECT_EQ(pairs[1].leaf_b, 1);
+}
+
+TEST(BitTreeAlign, UnionInsertsZeroSides)
+{
+    BitTree a = BitTree::fromPositions(1024, {10, 900}, 256);
+    BitTree b = BitTree::fromPositions(1024, {310}, 256);
+    auto pairs = alignUnion(a, b);
+    ASSERT_EQ(pairs.size(), 3u);
+    EXPECT_EQ(pairs[0].top_slot, 0);
+    EXPECT_EQ(pairs[0].leaf_a, 0);
+    EXPECT_EQ(pairs[0].leaf_b, kNoIndex); // zero-balanced side
+    EXPECT_EQ(pairs[1].top_slot, 1);
+    EXPECT_EQ(pairs[1].leaf_a, kNoIndex);
+    EXPECT_EQ(pairs[1].leaf_b, 0);
+    EXPECT_EQ(pairs[2].top_slot, 3);
+    EXPECT_EQ(pairs[2].leaf_a, 1);
+    EXPECT_EQ(pairs[2].leaf_b, kNoIndex);
+}
+
+/** Property: tree semantics equal a std::set model under random inserts. */
+TEST(BitTreeProperty, MatchesSetModel)
+{
+    std::mt19937 rng(11);
+    for (int trial = 0; trial < 10; ++trial) {
+        Index leaf_bits = (trial % 2 == 0) ? 256 : 512;
+        Index space = leaf_bits * (2 + static_cast<Index>(rng() % 30));
+        std::uniform_int_distribution<Index> pos(0, space - 1);
+        BitTree tree(space, leaf_bits);
+        std::set<Index> model;
+        for (int i = 0; i < 300; ++i) {
+            Index p = pos(rng);
+            tree.set(p);
+            model.insert(p);
+        }
+        ASSERT_EQ(tree.count(), static_cast<Index>(model.size()));
+        std::vector<Index> expect(model.begin(), model.end());
+        ASSERT_EQ(tree.toPositions(), expect);
+        for (Index p : expect)
+            ASSERT_TRUE(tree.test(p));
+    }
+}
+
+/** Property: union/intersect alignment covers exactly the right leaves. */
+TEST(BitTreeProperty, AlignmentMatchesTopLevelSets)
+{
+    std::mt19937 rng(13);
+    for (int trial = 0; trial < 10; ++trial) {
+        Index space = 256 * 64;
+        std::uniform_int_distribution<Index> pos(0, space - 1);
+        BitTree a(space, 256);
+        BitTree b(space, 256);
+        for (int i = 0; i < 100; ++i) {
+            a.set(pos(rng));
+            b.set(pos(rng));
+        }
+        auto inter = alignIntersect(a, b);
+        auto uni = alignUnion(a, b);
+        EXPECT_EQ(static_cast<Index>(inter.size()),
+                  (a.topLevel() & b.topLevel()).count());
+        EXPECT_EQ(static_cast<Index>(uni.size()),
+                  (a.topLevel() | b.topLevel()).count());
+        for (const AlignedLeafPair &p : inter) {
+            EXPECT_NE(p.leaf_a, kNoIndex);
+            EXPECT_NE(p.leaf_b, kNoIndex);
+        }
+        for (const AlignedLeafPair &p : uni)
+            EXPECT_TRUE(p.leaf_a != kNoIndex || p.leaf_b != kNoIndex);
+    }
+}

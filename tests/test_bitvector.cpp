@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unit and property tests for sparse::BitVector.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+#include "sparse/bitvector.hpp"
+
+using capstan::Index;
+using capstan::kNoIndex;
+using capstan::sparse::BitVector;
+
+TEST(BitVector, EmptyHasNoBits)
+{
+    BitVector bv(0);
+    EXPECT_EQ(bv.size(), 0);
+    EXPECT_EQ(bv.count(), 0);
+    EXPECT_EQ(bv.nextSet(0), kNoIndex);
+}
+
+TEST(BitVector, SetTestReset)
+{
+    BitVector bv(130);
+    EXPECT_FALSE(bv.test(0));
+    bv.set(0);
+    bv.set(63);
+    bv.set(64);
+    bv.set(129);
+    EXPECT_TRUE(bv.test(0));
+    EXPECT_TRUE(bv.test(63));
+    EXPECT_TRUE(bv.test(64));
+    EXPECT_TRUE(bv.test(129));
+    EXPECT_FALSE(bv.test(1));
+    EXPECT_EQ(bv.count(), 4);
+    bv.reset(63);
+    EXPECT_FALSE(bv.test(63));
+    EXPECT_EQ(bv.count(), 3);
+}
+
+TEST(BitVector, AssignSetsAndClears)
+{
+    BitVector bv(8);
+    bv.assign(3, true);
+    EXPECT_TRUE(bv.test(3));
+    bv.assign(3, false);
+    EXPECT_FALSE(bv.test(3));
+}
+
+TEST(BitVector, ConstructFromPositions)
+{
+    BitVector bv(300, {5, 7, 64, 128, 299});
+    EXPECT_EQ(bv.count(), 5);
+    EXPECT_TRUE(bv.test(299));
+    EXPECT_EQ(bv.toPositions(), (std::vector<Index>{5, 7, 64, 128, 299}));
+}
+
+TEST(BitVector, ClearZeroesEverything)
+{
+    BitVector bv(100, {1, 50, 99});
+    bv.clear();
+    EXPECT_EQ(bv.count(), 0);
+    EXPECT_EQ(bv.size(), 100);
+}
+
+TEST(BitVector, RankCountsStrictPrefix)
+{
+    BitVector bv(200, {0, 10, 63, 64, 65, 199});
+    EXPECT_EQ(bv.rank(0), 0);
+    EXPECT_EQ(bv.rank(1), 1);
+    EXPECT_EQ(bv.rank(10), 1);
+    EXPECT_EQ(bv.rank(11), 2);
+    EXPECT_EQ(bv.rank(64), 3);
+    EXPECT_EQ(bv.rank(66), 5);
+    EXPECT_EQ(bv.rank(200), 6);
+}
+
+TEST(BitVector, SelectInvertsRank)
+{
+    BitVector bv(500, {3, 77, 128, 129, 400});
+    EXPECT_EQ(bv.select(0), 3);
+    EXPECT_EQ(bv.select(1), 77);
+    EXPECT_EQ(bv.select(2), 128);
+    EXPECT_EQ(bv.select(3), 129);
+    EXPECT_EQ(bv.select(4), 400);
+    EXPECT_EQ(bv.select(5), kNoIndex);
+    EXPECT_EQ(bv.select(-1), kNoIndex);
+}
+
+TEST(BitVector, NextSetWalksAllBits)
+{
+    BitVector bv(256, {0, 1, 64, 255});
+    EXPECT_EQ(bv.nextSet(0), 0);
+    EXPECT_EQ(bv.nextSet(1), 1);
+    EXPECT_EQ(bv.nextSet(2), 64);
+    EXPECT_EQ(bv.nextSet(65), 255);
+    EXPECT_EQ(bv.nextSet(256), kNoIndex);
+}
+
+TEST(BitVector, LogicalOps)
+{
+    BitVector a(128, {1, 2, 3, 100});
+    BitVector b(128, {2, 3, 4, 101});
+    EXPECT_EQ((a & b).toPositions(), (std::vector<Index>{2, 3}));
+    EXPECT_EQ((a | b).toPositions(),
+              (std::vector<Index>{1, 2, 3, 4, 100, 101}));
+    EXPECT_EQ(a.andNot(b).toPositions(), (std::vector<Index>{1, 100}));
+}
+
+TEST(BitVector, Window64ReadsAcrossWordBoundary)
+{
+    BitVector bv(200, {60, 61, 70});
+    std::uint64_t w = bv.window64(60);
+    EXPECT_TRUE(w & 1);         // bit 60 -> window bit 0
+    EXPECT_TRUE(w & 2);         // bit 61 -> window bit 1
+    EXPECT_TRUE(w & (1ULL << 10)); // bit 70 -> window bit 10
+    EXPECT_EQ(bv.window64(500), 0u);
+}
+
+TEST(BitVector, StorageBytesRoundsUpToWords)
+{
+    EXPECT_EQ(BitVector(1).storageBytes(), 8);
+    EXPECT_EQ(BitVector(64).storageBytes(), 8);
+    EXPECT_EQ(BitVector(65).storageBytes(), 16);
+}
+
+/** Property: rank/select agree with a std::set model on random data. */
+TEST(BitVectorProperty, MatchesSetModelOnRandomData)
+{
+    std::mt19937 rng(42);
+    for (int trial = 0; trial < 20; ++trial) {
+        Index size = 1 + static_cast<Index>(rng() % 1000);
+        std::uniform_int_distribution<Index> pos(0, size - 1);
+        BitVector bv(size);
+        std::set<Index> model;
+        for (int i = 0; i < 200; ++i) {
+            Index p = pos(rng);
+            if (rng() % 2) {
+                bv.set(p);
+                model.insert(p);
+            } else {
+                bv.reset(p);
+                model.erase(p);
+            }
+        }
+        ASSERT_EQ(bv.count(), static_cast<Index>(model.size()));
+        std::vector<Index> expect(model.begin(), model.end());
+        ASSERT_EQ(bv.toPositions(), expect);
+        // rank(select(k)) == k for all k; select(rank(p)) == p for set p.
+        for (Index k = 0; k < bv.count(); ++k)
+            ASSERT_EQ(bv.rank(bv.select(k)), k);
+        for (Index p : expect)
+            ASSERT_EQ(bv.select(bv.rank(p)), p);
+    }
+}
+
+/** Property: De Morgan-ish identity count(a|b) + count(a&b) == |a| + |b|. */
+TEST(BitVectorProperty, InclusionExclusion)
+{
+    std::mt19937 rng(7);
+    for (int trial = 0; trial < 20; ++trial) {
+        Index size = 64 + static_cast<Index>(rng() % 512);
+        BitVector a(size);
+        BitVector b(size);
+        for (Index i = 0; i < size; ++i) {
+            if (rng() % 3 == 0)
+                a.set(i);
+            if (rng() % 3 == 0)
+                b.set(i);
+        }
+        EXPECT_EQ((a | b).count() + (a & b).count(), a.count() + b.count());
+        EXPECT_EQ(a.andNot(b).count(), a.count() - (a & b).count());
+    }
+}

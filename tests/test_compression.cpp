@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for base/offset DRAM burst compression (Section 3.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "sim/compression.hpp"
+
+using namespace capstan::sim;
+using capstan::Index;
+
+TEST(Compression, CloselySpacedPointersCompressWell)
+{
+    // Sixteen pointers within a byte of each other: 1 B header +
+    // base + 16 x 1 B offsets.
+    std::vector<std::uint32_t> words;
+    for (int i = 0; i < 16; ++i)
+        words.push_back(100000 + i);
+    CompressedBurst cb = compressBurst(words);
+    EXPECT_EQ(cb.offset_bytes, 1);
+    EXPECT_EQ(cb.base_bytes, 3);
+    EXPECT_EQ(cb.size_bytes, 1 + 3 + 16);
+    EXPECT_LT(cb.size_bytes, 64);
+}
+
+TEST(Compression, ConstantBurstIsTiny)
+{
+    // Repeated source-node pointers (the PR-Edge case): offsets all 0.
+    std::vector<std::uint32_t> words(16, 77777);
+    CompressedBurst cb = compressBurst(words);
+    EXPECT_EQ(cb.offset_bytes, 0);
+    EXPECT_EQ(cb.size_bytes, 1 + cb.base_bytes);
+}
+
+TEST(Compression, IncompressibleBurstFallsBackToRaw)
+{
+    std::mt19937 rng(3);
+    std::vector<std::uint32_t> words;
+    for (int i = 0; i < 16; ++i)
+        words.push_back(rng());
+    CompressedBurst cb = compressBurst(words);
+    EXPECT_EQ(cb.size_bytes, 65); // raw + header
+}
+
+TEST(Compression, StreamSummaryAggregatesBursts)
+{
+    std::vector<std::uint32_t> words;
+    for (int i = 0; i < 64; ++i)
+        words.push_back(5000 + i); // four compressible bursts
+    CompressionSummary sum = compressStream(words);
+    EXPECT_EQ(sum.raw_bytes, 256u);
+    EXPECT_LT(sum.compressed_bytes, sum.raw_bytes / 2);
+    EXPECT_GT(sum.ratio(), 2.0);
+}
+
+TEST(Compression, PointerStreamHelperMatchesWordStream)
+{
+    std::vector<Index> ptrs;
+    for (Index i = 0; i < 32; ++i)
+        ptrs.push_back(123456 + 3 * i);
+    CompressionSummary a = compressPointerStream(ptrs);
+    std::vector<std::uint32_t> words(ptrs.begin(), ptrs.end());
+    CompressionSummary b = compressStream(words);
+    EXPECT_EQ(a.compressed_bytes, b.compressed_bytes);
+}
+
+TEST(Compression, ShortTailBurstStillEncodes)
+{
+    std::vector<std::uint32_t> words = {10, 11, 12};
+    CompressedBurst cb = compressBurst(words);
+    EXPECT_GT(cb.size_bytes, 0);
+    EXPECT_LE(cb.size_bytes, 65);
+}
+
+/** Property: encoded size never exceeds raw + header and is monotone
+ *  in pointer spread. */
+TEST(CompressionProperty, SizeBounds)
+{
+    std::mt19937 rng(17);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::uint32_t base = rng() % 1000000;
+        std::uint32_t spread = 1u << (rng() % 20);
+        std::vector<std::uint32_t> words;
+        for (int i = 0; i < 16; ++i)
+            words.push_back(base + rng() % spread);
+        CompressedBurst cb = compressBurst(words);
+        ASSERT_GE(cb.size_bytes, 1);
+        ASSERT_LE(cb.size_bytes, 65);
+        // Wider spreads cannot shrink the offset width.
+        std::vector<std::uint32_t> tight(16, base);
+        ASSERT_LE(compressBurst(tight).size_bytes, cb.size_bytes);
+    }
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * End-to-end integration smoke tests: every Table 6 dataset flows
+ * through an application of its family on the full Capstan stack, and
+ * the timing counters must be internally consistent (work conservation
+ * between the functional and timing sides).
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/bicgstab.hpp"
+#include "apps/conv.hpp"
+#include "apps/graph.hpp"
+#include "apps/matadd.hpp"
+#include "apps/pagerank.hpp"
+#include "apps/spmspm.hpp"
+#include "apps/spmv.hpp"
+#include "workloads/datasets.hpp"
+
+using namespace capstan;
+using namespace capstan::apps;
+using namespace capstan::workloads;
+namespace sim = capstan::sim;
+
+namespace {
+
+sim::CapstanConfig
+cfg()
+{
+    return sim::CapstanConfig::capstan(sim::MemTech::HBM2E);
+}
+
+void
+checkTiming(const AppTiming &t, const char *what)
+{
+    EXPECT_GT(t.cycles, 0u) << what;
+    EXPECT_GT(t.totals.tokens, 0u) << what;
+    EXPECT_GT(t.totals.active_lane_cycles, 0.0) << what;
+    // Lane-cycles of useful work can never exceed the machine's
+    // capacity over the run.
+    EXPECT_LE(t.totals.active_lane_cycles,
+              static_cast<double>(t.cycles) * 16.0 * 64.0)
+        << what;
+    // The SpMU issued exactly as many vectors as completed.
+    EXPECT_EQ(t.spmu.vectors_in, t.spmu.vectors_out) << what;
+    EXPECT_DOUBLE_EQ(t.runtime_ms,
+                     static_cast<double>(t.cycles) / (1.6 * 1e6))
+        << what;
+}
+
+} // namespace
+
+TEST(Integration, LinearAlgebraDatasetsThroughSpmvAndSolver)
+{
+    for (const auto &name : linearAlgebraDatasetNames()) {
+        auto d = loadMatrixDataset(name, 0.03);
+        sparse::DenseVector v(d.matrix.cols(), 0.5f);
+        auto spmv = runSpmvCsr(d.matrix, v, cfg(), 8);
+        checkTiming(spmv.timing, name.c_str());
+        // Matrix bytes must at least stream once.
+        EXPECT_GE(spmv.timing.dram.bytes,
+                  static_cast<std::uint64_t>(8) * d.matrix.nnz())
+            << name;
+        sparse::DenseVector b(d.matrix.rows(), 1.0f);
+        auto solve = runBicgstab(d.matrix, b, 1, cfg(), 8);
+        checkTiming(solve.timing, name.c_str());
+    }
+}
+
+TEST(Integration, GraphDatasetsThroughTraversalsAndPageRank)
+{
+    for (const auto &name : graphDatasetNames()) {
+        auto d = loadMatrixDataset(name, 0.01);
+        auto bfs = runBfs(d.matrix, 0, cfg(), 8);
+        checkTiming(bfs.timing, name.c_str());
+        auto want = bfsReference(d.matrix, 0);
+        EXPECT_EQ(bfs.level, want) << name;
+        auto pr = runPageRankEdge(d.matrix, 1, cfg(), 8);
+        checkTiming(pr.timing, name.c_str());
+    }
+}
+
+TEST(Integration, SpmspmDatasetsMultiplyCorrectly)
+{
+    for (const auto &name : spmspmDatasetNames()) {
+        auto d = loadMatrixDataset(name, 0.5);
+        auto res = runSpmspm(d.matrix, d.matrix, cfg(), 8);
+        checkTiming(res.timing, name.c_str());
+        auto want = spmspmReference(d.matrix, d.matrix);
+        EXPECT_EQ(res.product.colIdx(), want.colIdx()) << name;
+    }
+}
+
+TEST(Integration, ConvDatasetsMatchReference)
+{
+    for (const auto &name : convDatasetNames()) {
+        auto d = loadConvDataset(name, 0.05);
+        auto res = runConv(d.layer, cfg(), 8);
+        checkTiming(res.timing, name.c_str());
+        auto want = convReference(d.layer);
+        EXPECT_LT(relativeError(res.out.data(), want.data()), 1e-5)
+            << name;
+    }
+}
+
+TEST(Integration, MatAddOnLinearAlgebraDataset)
+{
+    auto d = loadMatrixDataset("ckt11752_dc_1", 0.05);
+    auto bt = d.matrix.transpose();
+    auto res = runMatAdd(d.matrix, bt, cfg(), 8);
+    checkTiming(res.timing, "M+M");
+    auto want = matAddReference(d.matrix, bt);
+    EXPECT_EQ(res.sum.colIdx(), want.colIdx());
+    // Bit-tree iteration should spend some scanner cycles on the
+    // top-level pass but skip empty leaves entirely.
+    EXPECT_GT(res.timing.totals.scan_empty_cycles, 0.0);
+}
+
+TEST(Integration, CrossConfigCyclesDifferButResultsDoNot)
+{
+    auto d = loadMatrixDataset("Trefethen_20000", 0.05);
+    sparse::DenseVector v(d.matrix.cols(), 0.25f);
+    auto fast = runSpmvCoo(d.matrix, v, cfg(), 8);
+    auto slow = runSpmvCoo(
+        d.matrix, v, sim::CapstanConfig::plasticine(sim::MemTech::HBM2E),
+        8);
+    EXPECT_EQ(fast.out.data(), slow.out.data());
+    EXPECT_NE(fast.timing.cycles, slow.timing.cycles);
+}

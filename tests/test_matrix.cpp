@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Unit and property tests for the compressed matrix formats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "sparse/matrix.hpp"
+
+using capstan::Index;
+using capstan::Value;
+using capstan::sparse::CooMatrix;
+using capstan::sparse::CscMatrix;
+using capstan::sparse::CsrMatrix;
+using capstan::sparse::DcscMatrix;
+using capstan::sparse::DcsrMatrix;
+using capstan::sparse::Triplet;
+
+namespace {
+
+std::vector<Triplet>
+randomTriplets(std::mt19937 &rng, Index rows, Index cols, int n)
+{
+    std::uniform_int_distribution<Index> rd(0, rows - 1);
+    std::uniform_int_distribution<Index> cd(0, cols - 1);
+    std::uniform_real_distribution<float> vd(-1.0f, 1.0f);
+    std::vector<Triplet> out;
+    out.reserve(n);
+    for (int i = 0; i < n; ++i)
+        out.push_back({rd(rng), cd(rng), vd(rng)});
+    return out;
+}
+
+} // namespace
+
+TEST(CooMatrix, FromTripletsSortsAndSumsDuplicates)
+{
+    auto coo = CooMatrix::fromTriplets(
+        3, 3, {{2, 1, 1.0f}, {0, 0, 2.0f}, {2, 1, 3.0f}, {1, 2, 5.0f}});
+    ASSERT_EQ(coo.nnz(), 3);
+    EXPECT_EQ(coo.entries()[0], (Triplet{0, 0, 2.0f}));
+    EXPECT_EQ(coo.entries()[1], (Triplet{1, 2, 5.0f}));
+    EXPECT_EQ(coo.entries()[2], (Triplet{2, 1, 4.0f}));
+}
+
+TEST(CsrMatrix, BuildsRowPointers)
+{
+    auto csr = CsrMatrix::fromTriplets(
+        4, 5, {{0, 1, 1.0f}, {0, 4, 2.0f}, {2, 0, 3.0f}, {3, 3, 4.0f}});
+    EXPECT_EQ(csr.rows(), 4);
+    EXPECT_EQ(csr.cols(), 5);
+    EXPECT_EQ(csr.nnz(), 4);
+    EXPECT_EQ(csr.rowPtr(), (std::vector<Index>{0, 2, 2, 3, 4}));
+    EXPECT_EQ(csr.rowLength(0), 2);
+    EXPECT_EQ(csr.rowLength(1), 0);
+    auto r0 = csr.rowIndices(0);
+    EXPECT_EQ(r0[0], 1);
+    EXPECT_EQ(r0[1], 4);
+}
+
+TEST(CsrMatrix, AtReturnsStoredOrZero)
+{
+    auto csr = CsrMatrix::fromTriplets(2, 2, {{0, 1, 7.0f}});
+    EXPECT_FLOAT_EQ(csr.at(0, 1), 7.0f);
+    EXPECT_FLOAT_EQ(csr.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(csr.at(1, 1), 0.0f);
+}
+
+TEST(CsrMatrix, TransposeTwiceIsIdentity)
+{
+    std::mt19937 rng(3);
+    auto csr = CsrMatrix::fromTriplets(20, 30, randomTriplets(rng, 20, 30, 97));
+    auto back = csr.transpose().transpose();
+    EXPECT_EQ(back.rowPtr(), csr.rowPtr());
+    EXPECT_EQ(back.colIdx(), csr.colIdx());
+    EXPECT_EQ(back.values(), csr.values());
+}
+
+TEST(CscMatrix, ColumnViewMatchesTransposedRows)
+{
+    auto csr = CsrMatrix::fromTriplets(
+        3, 3, {{0, 0, 1.0f}, {1, 0, 2.0f}, {2, 2, 3.0f}});
+    auto csc = CscMatrix::fromCsr(csr);
+    EXPECT_EQ(csc.rows(), 3);
+    EXPECT_EQ(csc.cols(), 3);
+    EXPECT_EQ(csc.colLength(0), 2);
+    EXPECT_EQ(csc.colLength(1), 0);
+    auto c0 = csc.colIndices(0);
+    EXPECT_EQ(c0[0], 0);
+    EXPECT_EQ(c0[1], 1);
+    EXPECT_FLOAT_EQ(csc.at(1, 0), 2.0f);
+}
+
+TEST(DcsrMatrix, StoresOnlyNonEmptyRows)
+{
+    auto csr = CsrMatrix::fromTriplets(
+        100, 10, {{5, 1, 1.0f}, {50, 2, 2.0f}, {50, 3, 3.0f}});
+    auto dcsr = DcsrMatrix::fromCsr(csr);
+    EXPECT_EQ(dcsr.storedRows(), 2);
+    EXPECT_EQ(dcsr.rowId(0), 5);
+    EXPECT_EQ(dcsr.rowId(1), 50);
+    EXPECT_EQ(dcsr.storedRowIndices(1).size(), 2u);
+    // Doubly-compressed storage beats CSR when most rows are empty.
+    EXPECT_LT(dcsr.storageBytes(), csr.storageBytes());
+}
+
+TEST(DcscMatrix, StoresOnlyNonEmptyColumns)
+{
+    auto csr = CsrMatrix::fromTriplets(
+        10, 100, {{1, 5, 1.0f}, {2, 5, 2.0f}, {3, 50, 3.0f}});
+    auto dcsc = DcscMatrix::fromCsr(csr);
+    EXPECT_EQ(dcsc.rows(), 10);
+    EXPECT_EQ(dcsc.cols(), 100);
+    EXPECT_EQ(dcsc.storedCols(), 2);
+    EXPECT_EQ(dcsc.colId(0), 5);
+    EXPECT_EQ(dcsc.colId(1), 50);
+    auto c5 = dcsc.storedColIndices(0);
+    ASSERT_EQ(c5.size(), 2u);
+    EXPECT_EQ(c5[0], 1);
+    EXPECT_EQ(c5[1], 2);
+    EXPECT_FLOAT_EQ(dcsc.storedColValues(0)[1], 2.0f);
+}
+
+TEST(DcscMatrix, RoundTripsThroughCsr)
+{
+    std::mt19937 rng(37);
+    auto csr = CsrMatrix::fromTriplets(
+        60, 400, randomTriplets(rng, 60, 400, 150));
+    auto back = DcscMatrix::fromCsr(csr).toCsr();
+    EXPECT_EQ(back.rowPtr(), csr.rowPtr());
+    EXPECT_EQ(back.colIdx(), csr.colIdx());
+    EXPECT_EQ(back.values(), csr.values());
+}
+
+TEST(CsrMatrix, FromCooRejectsOutOfRangeTriplets)
+{
+    // Hard validation even in release builds (a silent overflow here
+    // once corrupted the heap; see matrix.cpp).
+    EXPECT_THROW(CsrMatrix::fromTriplets(2, 2, {{5, 0, 1.0f}}),
+                 std::out_of_range);
+    EXPECT_THROW(CsrMatrix::fromTriplets(2, 2, {{0, -1, 1.0f}}),
+                 std::out_of_range);
+}
+
+/** Property: CSR -> COO -> CSR round-trips on random matrices. */
+TEST(MatrixProperty, CsrCooRoundTrip)
+{
+    std::mt19937 rng(17);
+    for (int trial = 0; trial < 10; ++trial) {
+        Index rows = 1 + static_cast<Index>(rng() % 50);
+        Index cols = 1 + static_cast<Index>(rng() % 50);
+        auto csr = CsrMatrix::fromTriplets(
+            rows, cols, randomTriplets(rng, rows, cols, 200));
+        auto back = CsrMatrix::fromCoo(csr.toCoo());
+        ASSERT_EQ(back.rowPtr(), csr.rowPtr());
+        ASSERT_EQ(back.colIdx(), csr.colIdx());
+        ASSERT_EQ(back.values(), csr.values());
+    }
+}
+
+/** Property: CSC element access agrees with CSR on random matrices. */
+TEST(MatrixProperty, CscAgreesWithCsr)
+{
+    std::mt19937 rng(23);
+    auto csr = CsrMatrix::fromTriplets(40, 40,
+                                       randomTriplets(rng, 40, 40, 300));
+    auto csc = CscMatrix::fromCsr(csr);
+    for (Index r = 0; r < 40; ++r) {
+        for (Index c = 0; c < 40; ++c)
+            ASSERT_FLOAT_EQ(csc.at(r, c), csr.at(r, c));
+    }
+    auto back = csc.toCsr();
+    EXPECT_EQ(back.colIdx(), csr.colIdx());
+    EXPECT_EQ(back.values(), csr.values());
+}
+
+/** Property: DCSR round-trips through CSR. */
+TEST(MatrixProperty, DcsrRoundTrip)
+{
+    std::mt19937 rng(29);
+    for (int trial = 0; trial < 10; ++trial) {
+        // Sparse rows: big row space, few entries.
+        auto csr = CsrMatrix::fromTriplets(
+            500, 20, randomTriplets(rng, 500, 20, 60));
+        auto back = DcsrMatrix::fromCsr(csr).toCsr();
+        ASSERT_EQ(back.rowPtr(), csr.rowPtr());
+        ASSERT_EQ(back.colIdx(), csr.colIdx());
+        ASSERT_EQ(back.values(), csr.values());
+    }
+}
+
+/** Property: per-row nnz sums to total nnz. */
+TEST(MatrixProperty, RowLengthsSumToNnz)
+{
+    std::mt19937 rng(31);
+    auto csr = CsrMatrix::fromTriplets(64, 64,
+                                       randomTriplets(rng, 64, 64, 500));
+    Index total = 0;
+    for (Index r = 0; r < csr.rows(); ++r)
+        total += csr.rowLength(r);
+    EXPECT_EQ(total, csr.nnz());
+}

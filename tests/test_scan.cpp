@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the functional sparse-scan semantics (Section 2.2).
+ *
+ * The worked example in the paper (Fig. 2) is reproduced:
+ *   A idx: 11010011, B idx: 10011110 (leftmost bit = position 0)
+ *   intersect -> (j, j', jA, jB) = (0,0,0,0), (3,1,2,1), (6,2,3,4)
+ *
+ * Note: the paper's figure prints the last tuple as (6,2,4,4), but with
+ * A = 11010011 only three set bits precede position 6 ({0,1,3}), so the
+ * compressed index into A is 3 under the exclusive-rank semantics that
+ * the figure's other two tuples follow. We treat the 4 as a typo.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "sparse/scan.hpp"
+
+using capstan::Index;
+using capstan::kNoIndex;
+using capstan::sparse::BitVector;
+using capstan::sparse::scan;
+using capstan::sparse::scanIntersect;
+using capstan::sparse::ScanEntry;
+using capstan::sparse::scanUnion;
+
+namespace {
+
+BitVector
+fromBits(const std::string &bits)
+{
+    BitVector bv(static_cast<Index>(bits.size()));
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        if (bits[i] == '1')
+            bv.set(static_cast<Index>(i));
+    }
+    return bv;
+}
+
+} // namespace
+
+TEST(Scan, PaperFigure2Intersection)
+{
+    BitVector a = fromBits("11010011");
+    BitVector b = fromBits("10011110");
+    auto entries = scanIntersect(a, b);
+    ASSERT_EQ(entries.size(), 3u);
+    EXPECT_EQ(entries[0], (ScanEntry{0, 0, 0, 0}));
+    EXPECT_EQ(entries[1], (ScanEntry{3, 1, 2, 1}));
+    EXPECT_EQ(entries[2], (ScanEntry{6, 2, 3, 4}));
+}
+
+TEST(Scan, SingleInputEnumeratesSetBits)
+{
+    BitVector a = fromBits("0110");
+    auto entries = scan(a);
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].j, 1);
+    EXPECT_EQ(entries[0].jprime, 0);
+    EXPECT_EQ(entries[0].j_a, 0);
+    EXPECT_EQ(entries[1].j, 2);
+    EXPECT_EQ(entries[1].jprime, 1);
+    EXPECT_EQ(entries[1].j_a, 1);
+}
+
+TEST(Scan, UnionReportsMissingSidesAsNoIndex)
+{
+    BitVector a = fromBits("1100");
+    BitVector b = fromBits("0110");
+    auto entries = scanUnion(a, b);
+    ASSERT_EQ(entries.size(), 3u);
+    // j=0: only A.
+    EXPECT_EQ(entries[0].j, 0);
+    EXPECT_EQ(entries[0].j_a, 0);
+    EXPECT_EQ(entries[0].j_b, kNoIndex);
+    // j=1: both.
+    EXPECT_EQ(entries[1].j, 1);
+    EXPECT_EQ(entries[1].j_a, 1);
+    EXPECT_EQ(entries[1].j_b, 0);
+    // j=2: only B.
+    EXPECT_EQ(entries[2].j, 2);
+    EXPECT_EQ(entries[2].j_a, kNoIndex);
+    EXPECT_EQ(entries[2].j_b, 1);
+}
+
+TEST(Scan, EmptyInputsYieldNoEntries)
+{
+    BitVector a(64);
+    BitVector b(64);
+    EXPECT_TRUE(scan(a).empty());
+    EXPECT_TRUE(scanIntersect(a, b).empty());
+    EXPECT_TRUE(scanUnion(a, b).empty());
+}
+
+TEST(Scan, DisjointIntersectionIsEmpty)
+{
+    BitVector a = fromBits("1010");
+    BitVector b = fromBits("0101");
+    EXPECT_TRUE(scanIntersect(a, b).empty());
+    EXPECT_EQ(scanUnion(a, b).size(), 4u);
+}
+
+/** Property: scan indices are exactly ranks into the operands. */
+TEST(ScanProperty, IndicesAreRanks)
+{
+    std::mt19937 rng(5);
+    for (int trial = 0; trial < 20; ++trial) {
+        Index size = 64 + static_cast<Index>(rng() % 512);
+        BitVector a(size);
+        BitVector b(size);
+        for (Index i = 0; i < size; ++i) {
+            if (rng() % 4 == 0)
+                a.set(i);
+            if (rng() % 4 == 0)
+                b.set(i);
+        }
+
+        auto inter = scanIntersect(a, b);
+        ASSERT_EQ(static_cast<Index>(inter.size()), (a & b).count());
+        Index jprime = 0;
+        for (const ScanEntry &e : inter) {
+            ASSERT_TRUE(a.test(e.j) && b.test(e.j));
+            ASSERT_EQ(e.jprime, jprime++);
+            ASSERT_EQ(e.j_a, a.rank(e.j));
+            ASSERT_EQ(e.j_b, b.rank(e.j));
+        }
+
+        auto uni = scanUnion(a, b);
+        ASSERT_EQ(static_cast<Index>(uni.size()), (a | b).count());
+        jprime = 0;
+        for (const ScanEntry &e : uni) {
+            ASSERT_TRUE(a.test(e.j) || b.test(e.j));
+            ASSERT_EQ(e.jprime, jprime++);
+            if (a.test(e.j))
+                ASSERT_EQ(e.j_a, a.rank(e.j));
+            else
+                ASSERT_EQ(e.j_a, kNoIndex);
+            if (b.test(e.j))
+                ASSERT_EQ(e.j_b, b.rank(e.j));
+            else
+                ASSERT_EQ(e.j_b, kNoIndex);
+        }
+    }
+}
+
+/**
+ * Property: compressed indices enumerate the operand payloads without
+ * gaps (jA values over an intersection+its complement hit every slot).
+ */
+TEST(ScanProperty, UnionCoversBothOperands)
+{
+    std::mt19937 rng(41);
+    for (int trial = 0; trial < 10; ++trial) {
+        BitVector a(256);
+        BitVector b(256);
+        for (Index i = 0; i < 256; ++i) {
+            if (rng() % 3 == 0)
+                a.set(i);
+            if (rng() % 3 == 0)
+                b.set(i);
+        }
+        std::set<Index> seen_a, seen_b;
+        for (const ScanEntry &e : scanUnion(a, b)) {
+            if (e.j_a != kNoIndex)
+                seen_a.insert(e.j_a);
+            if (e.j_b != kNoIndex)
+                seen_b.insert(e.j_b);
+        }
+        EXPECT_EQ(static_cast<Index>(seen_a.size()), a.count());
+        EXPECT_EQ(static_cast<Index>(seen_b.size()), b.count());
+    }
+}
