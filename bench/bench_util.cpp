@@ -6,18 +6,10 @@
 #include <iostream>
 #include <stdexcept>
 
-#include "apps/bicgstab.hpp"
-#include "apps/conv.hpp"
-#include "apps/graph.hpp"
-#include "apps/matadd.hpp"
-#include "apps/pagerank.hpp"
-#include "apps/spmspm.hpp"
-#include "apps/spmv.hpp"
 #include "workloads/datasets.hpp"
 
 namespace capstan::bench {
 
-using namespace capstan::apps;
 using namespace capstan::workloads;
 
 const std::vector<std::string> &
@@ -47,76 +39,6 @@ datasetsFor(const std::string &app)
     throw std::invalid_argument("unknown app: " + app);
 }
 
-double
-defaultScale(const std::string &dataset)
-{
-    // Bench-friendly sizes; EXPERIMENTS.md records these. --scale 1
-    // multiplies back toward the published sizes.
-    if (dataset == "ckt11752_dc_1")
-        return 0.25;
-    if (dataset == "Trefethen_20000")
-        return 0.25;
-    if (dataset == "bcsstk30")
-        return 0.08;
-    if (dataset == "usroads-48")
-        return 0.08;
-    if (dataset == "web-Stanford")
-        return 0.05;
-    if (dataset == "flickr")
-        return 0.02;
-    if (dataset == "p2p-Gnutella31")
-        return 0.35;
-    if (dataset.rfind("ResNet", 0) == 0)
-        return 0.12;
-    return 1.0; // SpMSpM datasets are tiny already.
-}
-
-namespace {
-
-struct DatasetKey
-{
-    std::string name;
-    long scale_milli;
-    bool operator<(const DatasetKey &o) const
-    {
-        return std::tie(name, scale_milli) <
-               std::tie(o.name, o.scale_milli);
-    }
-};
-
-const MatrixDataset &
-cachedMatrix(const std::string &name, double scale)
-{
-    static std::map<DatasetKey, MatrixDataset> cache;
-    DatasetKey key{name, std::lround(scale * 1000)};
-    auto it = cache.find(key);
-    if (it == cache.end())
-        it = cache.emplace(key, loadMatrixDataset(name, scale)).first;
-    return it->second;
-}
-
-const ConvDataset &
-cachedConv(const std::string &name, double scale)
-{
-    static std::map<DatasetKey, ConvDataset> cache;
-    DatasetKey key{name, std::lround(scale * 1000)};
-    auto it = cache.find(key);
-    if (it == cache.end())
-        it = cache.emplace(key, loadConvDataset(name, scale)).first;
-    return it->second;
-}
-
-sparse::DenseVector
-denseInput(Index n)
-{
-    sparse::DenseVector v(n);
-    for (Index i = 0; i < n; ++i)
-        v[i] = 0.25f + 0.5f * ((i * 2654435761u) % 1024) / 1024.0f;
-    return v;
-}
-
-} // namespace
-
 CapstanConfig
 weakScaled(CapstanConfig cfg, int tiles)
 {
@@ -130,61 +52,6 @@ weakScaled(CapstanConfig cfg, int tiles)
                       : sim::memTechBandwidth(cfg.dram.tech);
     cfg.dram.bandwidth_override_gbps = base * fraction;
     return cfg;
-}
-
-AppTiming
-runApp(const std::string &app, const std::string &dataset,
-       const CapstanConfig &cfg, const RunOptions &opts)
-{
-    double scale = defaultScale(dataset) * opts.scale_mult;
-    if (app == "Conv") {
-        const ConvDataset &d = cachedConv(dataset, scale);
-        return runConv(d.layer, cfg, opts.tiles).timing;
-    }
-    const MatrixDataset &d = cachedMatrix(dataset, scale);
-    const sparse::CsrMatrix &m = d.matrix;
-    if (app == "CSR")
-        return runSpmvCsr(m, denseInput(m.cols()), cfg, opts.tiles)
-            .timing;
-    if (app == "COO")
-        return runSpmvCoo(m, denseInput(m.cols()), cfg, opts.tiles)
-            .timing;
-    if (app == "CSC") {
-        // The paper uses a 30%-dense input vector for CSC SpMV.
-        auto v = sparseVector(m.cols(), 0.30, 0xCEC);
-        return runSpmvCsc(m, v, cfg, opts.tiles).timing;
-    }
-    if (app == "PR-Pull")
-        return runPageRankPull(m, opts.iterations, cfg, opts.tiles)
-            .timing;
-    if (app == "PR-Edge")
-        return runPageRankEdge(m, opts.iterations, cfg, opts.tiles)
-            .timing;
-    if (app == "BFS")
-        return runBfs(m, 0, cfg, opts.tiles, opts.write_pointers)
-            .timing;
-    if (app == "SSSP")
-        return runSssp(m, 0, cfg, opts.tiles, opts.write_pointers)
-            .timing;
-    if (app == "M+M") {
-        // Add the dataset to its transpose: same dimensions and
-        // density, different (but correlated) occupancy.
-        static std::map<DatasetKey, sparse::CsrMatrix> tcache;
-        DatasetKey key{dataset, std::lround(scale * 1000)};
-        auto it = tcache.find(key);
-        if (it == tcache.end())
-            it = tcache.emplace(key, m.transpose()).first;
-        return runMatAdd(m, it->second, cfg, opts.tiles,
-                         opts.use_bittree)
-            .timing;
-    }
-    if (app == "SpMSpM")
-        return runSpmspm(m, m, cfg, opts.tiles).timing;
-    if (app == "BiCGStab")
-        return runBicgstab(m, denseInput(m.rows()), opts.iterations,
-                           cfg, opts.tiles)
-            .timing;
-    throw std::invalid_argument("unknown app: " + app);
 }
 
 double

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "apps/common.hpp"
+#include "driver/runner.hpp"
 #include "sim/config.hpp"
 
 namespace capstan::bench {
@@ -36,19 +37,13 @@ std::vector<std::string> datasetsFor(const std::string &app);
 
 /**
  * Default generation scale for a dataset in bench runs (relative to the
- * published size; multiplied by the CLI --scale factor).
+ * published size; multiplied by the CLI --scale factor). Forwarded from
+ * the driver's dispatch table (src/driver/runner.hpp).
  */
-double defaultScale(const std::string &dataset);
+using driver::defaultScale;
 
-/** Extra knobs a run can adjust. */
-struct RunOptions
-{
-    int tiles = 16;
-    int iterations = 2;  //!< PageRank / BiCGStab iterations.
-    double scale_mult = 1.0;
-    bool write_pointers = true; //!< BFS/SSSP back pointers.
-    bool use_bittree = true;    //!< M+M row format.
-};
+/** Extra knobs a run can adjust (shared with `capstan-run`). */
+using RunOptions = driver::RunKnobs;
 
 /**
  * Weak-scale the DRAM system to the simulated chip slice: a run with
@@ -61,10 +56,11 @@ CapstanConfig weakScaled(CapstanConfig cfg, int tiles);
 
 /**
  * Run @p app on @p dataset under @p cfg; returns its timing. Datasets
- * are generated once per (name, scale) and cached across calls.
+ * are generated once per (name, scale) and cached across calls. This
+ * is the driver's dispatch (src/driver/runner.hpp), shared so the
+ * bench harness and `capstan-run` measure exactly the same runs.
  */
-AppTiming runApp(const std::string &app, const std::string &dataset,
-                 const CapstanConfig &cfg, const RunOptions &opts = {});
+using driver::runApp;
 
 /** Seconds for a timing at the configuration's clock. */
 double seconds(const AppTiming &t);

@@ -11,8 +11,10 @@
 #ifndef CAPSTAN_APPS_COMMON_HPP
 #define CAPSTAN_APPS_COMMON_HPP
 
+#include <algorithm>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "lang/machine.hpp"
 #include "sim/config.hpp"

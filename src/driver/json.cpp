@@ -1,0 +1,401 @@
+#include "driver/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace capstan::driver {
+
+double
+JsonValue::asNumber() const
+{
+    if (kind_ != Kind::Number)
+        throw std::logic_error("JsonValue: not a number");
+    return num_;
+}
+
+bool
+JsonValue::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        throw std::logic_error("JsonValue: not a bool");
+    return bool_;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind_ != Kind::String)
+        throw std::logic_error("JsonValue: not a string");
+    return str_;
+}
+
+JsonValue &
+JsonValue::set(const std::string &key, JsonValue v)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Object;
+    if (kind_ != Kind::Object)
+        throw std::logic_error("JsonValue: not an object");
+    for (auto &m : members_) {
+        if (m.first == key) {
+            m.second = std::move(v);
+            return *this;
+        }
+    }
+    members_.emplace_back(key, std::move(v));
+    return *this;
+}
+
+bool
+JsonValue::contains(const std::string &key) const
+{
+    for (const auto &m : members_) {
+        if (m.first == key)
+            return true;
+    }
+    return false;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    for (const auto &m : members_) {
+        if (m.first == key)
+            return m.second;
+    }
+    throw std::out_of_range("JsonValue: missing key '" + key + "'");
+}
+
+JsonValue &
+JsonValue::push(JsonValue v)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Array;
+    if (kind_ != Kind::Array)
+        throw std::logic_error("JsonValue: not an array");
+    items_.push_back(std::move(v));
+    return *this;
+}
+
+namespace {
+
+void
+escapeString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+formatNumber(std::string &out, double v)
+{
+    if (!std::isfinite(v)) {
+        out += "null"; // JSON has no Inf/NaN.
+        return;
+    }
+    // Integral values (the common case for counters) print exactly.
+    if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+        out += buf;
+        return;
+    }
+    // Shortest representation that still round-trips the double.
+    char buf[40];
+    for (int prec = 15; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    out += buf;
+}
+
+} // namespace
+
+void
+JsonValue::dumpTo(std::string &out, int indent, int depth) const
+{
+    auto newline = [&](int d) {
+        if (indent > 0) {
+            out += '\n';
+            out.append(static_cast<std::size_t>(indent) * d, ' ');
+        }
+    };
+    switch (kind_) {
+    case Kind::Null: out += "null"; break;
+    case Kind::Bool: out += bool_ ? "true" : "false"; break;
+    case Kind::Number: formatNumber(out, num_); break;
+    case Kind::String: escapeString(out, str_); break;
+    case Kind::Array:
+        if (items_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+            if (i != 0)
+                out += ',';
+            newline(depth + 1);
+            items_[i].dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += ']';
+        break;
+    case Kind::Object:
+        if (members_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            if (i != 0)
+                out += ',';
+            newline(depth + 1);
+            escapeString(out, members_[i].first);
+            out += indent > 0 ? ": " : ":";
+            members_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    JsonValue parseDocument()
+    {
+        JsonValue v = parseValue();
+        skipSpace();
+        if (pos_ != text_.size())
+            fail("trailing characters after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string &why) const
+    {
+        throw JsonParseError("JSON parse error at offset " +
+                             std::to_string(pos_) + ": " + why);
+    }
+
+    void skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consumeWord(const char *w)
+    {
+        std::size_t n = std::char_traits<char>::length(w);
+        if (text_.compare(pos_, n, w) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue parseValue()
+    {
+        skipSpace();
+        char c = peek();
+        switch (c) {
+        case '{': return parseObject();
+        case '[': return parseArray();
+        case '"': return JsonValue(parseString());
+        case 't':
+            if (consumeWord("true"))
+                return JsonValue(true);
+            fail("invalid literal");
+        case 'f':
+            if (consumeWord("false"))
+                return JsonValue(false);
+            fail("invalid literal");
+        case 'n':
+            if (consumeWord("null"))
+                return JsonValue();
+            fail("invalid literal");
+        default: return parseNumber();
+        }
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code += static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code += static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code += static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape digit");
+                }
+                // The stats schema is ASCII; keep the code point only
+                // when it fits a byte, else substitute '?'.
+                out += code < 0x80 ? static_cast<char>(code) : '?';
+                break;
+            }
+            default: fail("unknown escape");
+            }
+        }
+    }
+
+    JsonValue parseNumber()
+    {
+        std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected a value");
+        char *end = nullptr;
+        std::string tok = text_.substr(start, pos_ - start);
+        double v = std::strtod(tok.c_str(), &end);
+        if (end == tok.c_str() ||
+            end != tok.c_str() + tok.size())
+            fail("malformed number '" + tok + "'");
+        return JsonValue(v);
+    }
+
+    JsonValue parseObject()
+    {
+        expect('{');
+        JsonValue obj = JsonValue::object();
+        skipSpace();
+        if (peek() == '}') {
+            ++pos_;
+            return obj;
+        }
+        while (true) {
+            skipSpace();
+            std::string key = parseString();
+            skipSpace();
+            expect(':');
+            obj.set(key, parseValue());
+            skipSpace();
+            char c = peek();
+            ++pos_;
+            if (c == '}')
+                return obj;
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    JsonValue parseArray()
+    {
+        expect('[');
+        JsonValue arr = JsonValue::array();
+        skipSpace();
+        if (peek() == ']') {
+            ++pos_;
+            return arr;
+        }
+        while (true) {
+            arr.push(parseValue());
+            skipSpace();
+            char c = peek();
+            ++pos_;
+            if (c == ']')
+                return arr;
+            if (c != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+JsonValue
+JsonValue::parse(const std::string &text)
+{
+    return Parser(text).parseDocument();
+}
+
+} // namespace capstan::driver

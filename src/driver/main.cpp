@@ -1,0 +1,70 @@
+/**
+ * @file
+ * `capstan-run`: the unified command-line simulation driver.
+ *
+ * Composes an application, a workload, and a machine configuration from
+ * flags, runs the cycle-level simulation, and reports stats as either a
+ * human-readable summary or machine-readable JSON (for perf-trajectory
+ * tracking and parameter sweeps).
+ */
+
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "driver/options.hpp"
+#include "driver/runner.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace capstan::driver;
+
+    std::vector<std::string> args(argv + 1, argv + argc);
+    ParseResult parsed = parseArgs(args);
+    if (!parsed.ok()) {
+        std::cerr << "capstan-run: " << parsed.error << "\n";
+        return 2;
+    }
+    if (parsed.show_help) {
+        std::cout << usageText();
+        return 0;
+    }
+    if (parsed.show_list) {
+        std::cout << listText();
+        return 0;
+    }
+
+    try {
+        RunResult result = runDriver(parsed.options);
+        std::string report =
+            parsed.options.json
+                ? statsToJson(result).dump(parsed.options.json_indent) +
+                      "\n"
+                : statsToText(result);
+        if (parsed.options.output.empty()) {
+            std::cout << report;
+        } else {
+            std::ofstream out(parsed.options.output);
+            if (!out) {
+                std::cerr << "capstan-run: cannot open '"
+                          << parsed.options.output << "' for writing\n";
+                return 1;
+            }
+            out << report;
+            out.close();
+            if (!out) {
+                std::cerr << "capstan-run: failed writing '"
+                          << parsed.options.output << "'\n";
+                return 1;
+            }
+        }
+    } catch (const std::exception &e) {
+        std::cerr << "capstan-run: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,382 @@
+#include "driver/options.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "workloads/datasets.hpp"
+
+namespace capstan::driver {
+
+namespace {
+
+std::string
+lower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+appNames()
+{
+    static const std::vector<std::string> names = {
+        "spmv",     "spmv-coo", "spmv-csc", "conv",
+        "pagerank", "pagerank-edge", "bfs", "sssp",
+        "matadd",   "spmspm",   "bicgstab"};
+    return names;
+}
+
+std::optional<std::string>
+canonicalApp(const std::string &name)
+{
+    std::string n = lower(name);
+    if (n == "spmv" || n == "spmv-csr" || n == "csr")
+        return "CSR";
+    if (n == "spmv-coo" || n == "coo")
+        return "COO";
+    if (n == "spmv-csc" || n == "csc")
+        return "CSC";
+    if (n == "conv")
+        return "Conv";
+    if (n == "pagerank" || n == "pagerank-pull" || n == "pr-pull")
+        return "PR-Pull";
+    if (n == "pagerank-edge" || n == "pr-edge")
+        return "PR-Edge";
+    if (n == "graph" || n == "bfs")
+        return "BFS";
+    if (n == "sssp")
+        return "SSSP";
+    if (n == "matadd" || n == "m+m")
+        return "M+M";
+    if (n == "spmspm")
+        return "SpMSpM";
+    if (n == "bicgstab")
+        return "BiCGStab";
+    return std::nullopt;
+}
+
+std::string
+defaultDataset(const std::string &canonical_app)
+{
+    if (canonical_app == "Conv")
+        return workloads::convDatasetNames().front();
+    if (canonical_app == "PR-Pull" || canonical_app == "PR-Edge" ||
+        canonical_app == "BFS" || canonical_app == "SSSP")
+        return workloads::graphDatasetNames().front();
+    if (canonical_app == "SpMSpM")
+        return workloads::spmspmDatasetNames().front();
+    return workloads::linearAlgebraDatasetNames().front();
+}
+
+namespace {
+
+bool
+parseMemTech(const std::string &v, sim::MemTech &out)
+{
+    std::string n = lower(v);
+    if (n == "ddr4")
+        out = sim::MemTech::DDR4;
+    else if (n == "hbm2")
+        out = sim::MemTech::HBM2;
+    else if (n == "hbm2e")
+        out = sim::MemTech::HBM2E;
+    else if (n == "ideal")
+        out = sim::MemTech::Ideal;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseOrdering(const std::string &v, sim::Ordering &out)
+{
+    std::string n = lower(v);
+    if (n == "unordered")
+        out = sim::Ordering::Unordered;
+    else if (n == "address" || n == "address-ordered")
+        out = sim::Ordering::AddressOrdered;
+    else if (n == "fully" || n == "fully-ordered")
+        out = sim::Ordering::FullyOrdered;
+    else if (n == "arbitrated")
+        out = sim::Ordering::Arbitrated;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseMerge(const std::string &v, sim::MergeMode &out)
+{
+    std::string n = lower(v);
+    if (n == "none")
+        out = sim::MergeMode::None;
+    else if (n == "mrg0")
+        out = sim::MergeMode::Mrg0;
+    else if (n == "mrg1")
+        out = sim::MergeMode::Mrg1;
+    else if (n == "mrg16")
+        out = sim::MergeMode::Mrg16;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseNumber(const std::string &v, double &out)
+{
+    char *end = nullptr;
+    out = std::strtod(v.c_str(), &end);
+    return end == v.c_str() + v.size() && !v.empty() &&
+           std::isfinite(out);
+}
+
+bool
+parseInt(const std::string &v, int &out)
+{
+    double d = 0;
+    if (!parseNumber(v, d) ||
+        d < static_cast<double>(std::numeric_limits<int>::min()) ||
+        d > static_cast<double>(std::numeric_limits<int>::max()) ||
+        d != std::trunc(d))
+        return false;
+    out = static_cast<int>(d);
+    return true;
+}
+
+} // namespace
+
+ParseResult
+parseArgs(const std::vector<std::string> &args)
+{
+    ParseResult r;
+    DriverOptions &o = r.options;
+
+    auto fail = [&](const std::string &why) -> ParseResult & {
+        r.error = why;
+        return r;
+    };
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto value = [&](std::string &out) {
+            if (i + 1 >= args.size())
+                return false;
+            out = args[++i];
+            return true;
+        };
+        std::string v;
+        if (a == "--help" || a == "-h") {
+            r.show_help = true;
+        } else if (a == "--list") {
+            r.show_list = true;
+        } else if (a == "--json") {
+            o.json = true;
+        } else if (a == "--compact") {
+            o.json = true; // --compact is a JSON formatting choice.
+            o.json_indent = 0;
+        } else if (a == "--compression") {
+            o.compression = true;
+        } else if (a == "--app") {
+            if (!value(v))
+                return fail("--app requires a value");
+            if (!canonicalApp(v))
+                return fail("unknown app '" + v + "'");
+            o.app = v;
+        } else if (a == "--dataset") {
+            if (!value(v))
+                return fail("--dataset requires a value");
+            o.dataset = v;
+        } else if (a == "--scale") {
+            if (!value(v) || !parseNumber(v, o.scale) || o.scale <= 0)
+                return fail("--scale requires a positive number");
+        } else if (a == "--tiles") {
+            if (!value(v) || !parseInt(v, o.tiles) || o.tiles < 1)
+                return fail("--tiles requires a positive integer");
+        } else if (a == "--iterations") {
+            if (!value(v) || !parseInt(v, o.iterations) ||
+                o.iterations < 1)
+                return fail("--iterations requires a positive integer");
+        } else if (a == "--config") {
+            if (!value(v))
+                return fail("--config requires a value");
+            std::string n = lower(v);
+            if (n == "capstan")
+                o.config = ConfigPoint::Capstan;
+            else if (n == "plasticine")
+                o.config = ConfigPoint::Plasticine;
+            else if (n == "ideal")
+                o.config = ConfigPoint::Ideal;
+            else
+                return fail("unknown config '" + v +
+                            "' (capstan|plasticine|ideal)");
+        } else if (a == "--memtech") {
+            if (!value(v) || !parseMemTech(v, o.memtech))
+                return fail("--memtech requires ddr4|hbm2|hbm2e|ideal");
+        } else if (a == "--ordering") {
+            sim::Ordering ord;
+            if (!value(v) || !parseOrdering(v, ord))
+                return fail("--ordering requires "
+                            "unordered|address|fully|arbitrated");
+            o.ordering = ord;
+        } else if (a == "--merge") {
+            sim::MergeMode m;
+            if (!value(v) || !parseMerge(v, m))
+                return fail("--merge requires none|mrg0|mrg1|mrg16");
+            o.merge = m;
+        } else if (a == "--hash") {
+            if (!value(v))
+                return fail("--hash requires linear|xor");
+            std::string n = lower(v);
+            if (n == "linear")
+                o.hash = sim::BankHash::Linear;
+            else if (n == "xor")
+                o.hash = sim::BankHash::Xor;
+            else
+                return fail("--hash requires linear|xor");
+        } else if (a == "--allocator") {
+            if (!value(v))
+                return fail("--allocator requires full|weak");
+            std::string n = lower(v);
+            if (n == "full")
+                o.allocator = sim::AllocatorKind::Full;
+            else if (n == "weak")
+                o.allocator = sim::AllocatorKind::Weak;
+            else
+                return fail("--allocator requires full|weak");
+        } else if (a == "--queue-depth") {
+            int d;
+            if (!value(v) || !parseInt(v, d) || d < 1)
+                return fail("--queue-depth requires a positive integer");
+            o.queue_depth = d;
+        } else if (a == "--bandwidth-gbps") {
+            double b;
+            if (!value(v) || !parseNumber(v, b) || b <= 0)
+                return fail("--bandwidth-gbps requires a positive "
+                            "number");
+            o.bandwidth_gbps = b;
+        } else if (a == "--output") {
+            if (!value(v))
+                return fail("--output requires a path");
+            o.output = v;
+        } else {
+            return fail("unknown flag '" + a + "' (see --help)");
+        }
+    }
+
+    if (o.dataset.empty())
+        o.dataset = defaultDataset(*canonicalApp(o.app));
+    return r;
+}
+
+sim::CapstanConfig
+buildConfig(const DriverOptions &o)
+{
+    sim::CapstanConfig cfg;
+    switch (o.config) {
+    case ConfigPoint::Capstan:
+        cfg = sim::CapstanConfig::capstan(o.memtech);
+        break;
+    case ConfigPoint::Plasticine:
+        cfg = sim::CapstanConfig::plasticine(o.memtech);
+        break;
+    case ConfigPoint::Ideal:
+        cfg = sim::CapstanConfig::ideal();
+        break;
+    }
+    if (o.ordering)
+        cfg.spmu.ordering = *o.ordering;
+    if (o.merge)
+        cfg.shuffle.mode = *o.merge;
+    if (o.hash)
+        cfg.spmu.hash = *o.hash;
+    if (o.allocator)
+        cfg.spmu.allocator = *o.allocator;
+    if (o.queue_depth)
+        cfg.spmu.queue_depth = *o.queue_depth;
+    if (o.bandwidth_gbps)
+        cfg.dram.bandwidth_override_gbps = *o.bandwidth_gbps;
+    if (o.compression)
+        cfg.dram.compression = true;
+    return cfg;
+}
+
+std::string
+configPointName(ConfigPoint p)
+{
+    switch (p) {
+    case ConfigPoint::Capstan: return "capstan";
+    case ConfigPoint::Plasticine: return "plasticine";
+    case ConfigPoint::Ideal: return "ideal";
+    }
+    return "unknown";
+}
+
+std::string
+usageText()
+{
+    return
+        "capstan-run: simulate one (app x workload x machine) point\n"
+        "\n"
+        "Usage: capstan-run [flags]\n"
+        "\n"
+        "Workload selection:\n"
+        "  --app NAME         spmv|spmv-coo|spmv-csc|conv|pagerank|\n"
+        "                     pagerank-edge|bfs|sssp|matadd|spmspm|\n"
+        "                     bicgstab            (default: spmv)\n"
+        "  --dataset NAME     Table 6 dataset     (default: per app)\n"
+        "  --scale F          dataset scale multiplier (default: 1)\n"
+        "  --tiles N          outer-parallel tiles (default: 16)\n"
+        "  --iterations N     PR/BiCGStab iterations (default: 2)\n"
+        "\n"
+        "Machine configuration:\n"
+        "  --config NAME      capstan|plasticine|ideal\n"
+        "  --memtech T        ddr4|hbm2|hbm2e|ideal\n"
+        "  --ordering M       unordered|address|fully|arbitrated\n"
+        "  --merge M          none|mrg0|mrg1|mrg16\n"
+        "  --hash H           linear|xor\n"
+        "  --allocator A      full|weak\n"
+        "  --queue-depth N    SpMU issue-queue depth\n"
+        "  --bandwidth-gbps B DRAM bandwidth override\n"
+        "  --compression      enable pointer-tile DRAM compression\n"
+        "\n"
+        "Output:\n"
+        "  --json             emit machine-readable JSON stats\n"
+        "  --compact          JSON without pretty-printing\n"
+        "                     (implies --json)\n"
+        "  --output PATH      write stats to PATH instead of stdout\n"
+        "  --list             list apps and datasets, then exit\n"
+        "  --help             this text\n";
+}
+
+std::string
+listText()
+{
+    std::ostringstream out;
+    out << "apps:";
+    for (const auto &a : appNames())
+        out << ' ' << a;
+    out << "\nlinear-algebra datasets:";
+    for (const auto &d : workloads::linearAlgebraDatasetNames())
+        out << ' ' << d;
+    out << "\ngraph datasets:";
+    for (const auto &d : workloads::graphDatasetNames())
+        out << ' ' << d;
+    out << "\nspmspm datasets:";
+    for (const auto &d : workloads::spmspmDatasetNames())
+        out << ' ' << d;
+    out << "\nconv datasets:";
+    for (const auto &d : workloads::convDatasetNames())
+        out << ' ' << d;
+    out << "\nconfigs: capstan plasticine ideal\n";
+    return out.str();
+}
+
+} // namespace capstan::driver

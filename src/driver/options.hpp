@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Command-line interface of `capstan-run`, the unified simulation driver.
+ *
+ * A run composes three orthogonal choices, each settable from flags:
+ * an application (Table 2), a workload (a Table 6 synthetic dataset at
+ * some scale), and a machine configuration (a Table 7 design point plus
+ * individual overrides). Parsing is pure — it works on a vector of
+ * argument strings and reports errors by value — so the test suite can
+ * exercise it without a process boundary.
+ */
+
+#ifndef CAPSTAN_DRIVER_OPTIONS_HPP
+#define CAPSTAN_DRIVER_OPTIONS_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/config.hpp"
+
+namespace capstan::driver {
+
+/** Machine design points selectable with --config. */
+enum class ConfigPoint {
+    Capstan,    //!< The paper's primary design (Table 7).
+    Plasticine, //!< The Plasticine baseline (Section 5).
+    Ideal,      //!< Ideal network + memory (Table 12, first row).
+};
+
+/** Everything a `capstan-run` invocation specifies. */
+struct DriverOptions
+{
+    std::string app = "spmv";     //!< Application name (see appNames()).
+    std::string dataset;          //!< Table 6 name; empty = app default.
+    double scale = 1.0;           //!< Multiplier on the bench scale.
+    int tiles = 16;
+    int iterations = 2;           //!< PageRank / BiCGStab iterations.
+
+    ConfigPoint config = ConfigPoint::Capstan;
+    sim::MemTech memtech = sim::MemTech::HBM2E;
+    std::optional<sim::Ordering> ordering;   //!< SpMU override.
+    std::optional<sim::MergeMode> merge;     //!< Shuffle override.
+    std::optional<sim::BankHash> hash;       //!< Bank-hash override.
+    std::optional<sim::AllocatorKind> allocator;
+    std::optional<int> queue_depth;
+    std::optional<double> bandwidth_gbps;    //!< DRAM override (Fig. 5a).
+    bool compression = false;     //!< Pointer-tile DRAM compression.
+
+    bool json = false;            //!< Emit JSON stats instead of text.
+    int json_indent = 2;          //!< 0 = compact.
+    std::string output;           //!< Write stats here; empty = stdout.
+};
+
+/** Outcome of parsing one argument vector. */
+struct ParseResult
+{
+    DriverOptions options;
+    bool show_help = false;       //!< --help was given.
+    bool show_list = false;       //!< --list was given.
+    std::string error;            //!< Non-empty on failure.
+
+    bool ok() const { return error.empty(); }
+};
+
+/** The driver's application names, in Table 2 order. */
+const std::vector<std::string> &appNames();
+
+/**
+ * Resolve a user-facing app name to the canonical bench key
+ * (e.g. "spmv" -> "CSR", "spmv-coo" -> "COO", "pagerank" -> "PR-Pull").
+ * Returns std::nullopt for unknown names. Matching is case-insensitive.
+ */
+std::optional<std::string> canonicalApp(const std::string &name);
+
+/** Default Table 6 dataset for a canonical app key. */
+std::string defaultDataset(const std::string &canonical_app);
+
+/** Parse arguments (excluding argv[0]). Never throws. */
+ParseResult parseArgs(const std::vector<std::string> &args);
+
+/** Build the machine configuration an option set describes. */
+sim::CapstanConfig buildConfig(const DriverOptions &opts);
+
+/** Display name of a design point ("capstan", "plasticine", "ideal"). */
+std::string configPointName(ConfigPoint p);
+
+/** Usage text for --help. */
+std::string usageText();
+
+/** App / dataset / config listing for --list. */
+std::string listText();
+
+} // namespace capstan::driver
+
+#endif // CAPSTAN_DRIVER_OPTIONS_HPP

@@ -1,0 +1,296 @@
+#include "driver/runner.hpp"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+#include "apps/bicgstab.hpp"
+#include "apps/conv.hpp"
+#include "apps/graph.hpp"
+#include "apps/matadd.hpp"
+#include "apps/pagerank.hpp"
+#include "apps/spmspm.hpp"
+#include "apps/spmv.hpp"
+#include "workloads/datasets.hpp"
+
+namespace capstan::driver {
+
+using namespace capstan::apps;
+using namespace capstan::workloads;
+
+double
+defaultScale(const std::string &dataset)
+{
+    // Bench-friendly sizes; EXPERIMENTS.md records these. --scale 1
+    // multiplies back toward the published sizes.
+    if (dataset == "ckt11752_dc_1")
+        return 0.25;
+    if (dataset == "Trefethen_20000")
+        return 0.25;
+    if (dataset == "bcsstk30")
+        return 0.08;
+    if (dataset == "usroads-48")
+        return 0.08;
+    if (dataset == "web-Stanford")
+        return 0.05;
+    if (dataset == "flickr")
+        return 0.02;
+    if (dataset == "p2p-Gnutella31")
+        return 0.35;
+    if (dataset.rfind("ResNet", 0) == 0)
+        return 0.12;
+    return 1.0; // SpMSpM datasets are tiny already.
+}
+
+namespace {
+
+struct DatasetKey
+{
+    std::string name;
+    long scale_milli;
+    bool operator<(const DatasetKey &o) const
+    {
+        return std::tie(name, scale_milli) <
+               std::tie(o.name, o.scale_milli);
+    }
+};
+
+const MatrixDataset &
+cachedMatrix(const std::string &name, double scale)
+{
+    static std::map<DatasetKey, MatrixDataset> cache;
+    DatasetKey key{name, std::lround(scale * 1000)};
+    auto it = cache.find(key);
+    if (it == cache.end())
+        it = cache.emplace(key, loadMatrixDataset(name, scale)).first;
+    return it->second;
+}
+
+const ConvDataset &
+cachedConv(const std::string &name, double scale)
+{
+    static std::map<DatasetKey, ConvDataset> cache;
+    DatasetKey key{name, std::lround(scale * 1000)};
+    auto it = cache.find(key);
+    if (it == cache.end())
+        it = cache.emplace(key, loadConvDataset(name, scale)).first;
+    return it->second;
+}
+
+sparse::DenseVector
+denseInput(Index n)
+{
+    sparse::DenseVector v(n);
+    for (Index i = 0; i < n; ++i)
+        v[i] = 0.25f + 0.5f * ((i * 2654435761u) % 1024) / 1024.0f;
+    return v;
+}
+
+} // namespace
+
+double
+effectiveScale(const std::string &dataset, const RunKnobs &knobs)
+{
+    return defaultScale(dataset) * knobs.scale_mult;
+}
+
+AppTiming
+runApp(const std::string &app, const std::string &dataset,
+       const CapstanConfig &cfg, const RunKnobs &knobs)
+{
+    double scale = effectiveScale(dataset, knobs);
+    if (app == "Conv") {
+        const ConvDataset &d = cachedConv(dataset, scale);
+        return runConv(d.layer, cfg, knobs.tiles).timing;
+    }
+    const MatrixDataset &d = cachedMatrix(dataset, scale);
+    const sparse::CsrMatrix &m = d.matrix;
+    if (app == "CSR")
+        return runSpmvCsr(m, denseInput(m.cols()), cfg, knobs.tiles)
+            .timing;
+    if (app == "COO")
+        return runSpmvCoo(m, denseInput(m.cols()), cfg, knobs.tiles)
+            .timing;
+    if (app == "CSC") {
+        // The paper uses a 30%-dense input vector for CSC SpMV.
+        auto v = sparseVector(m.cols(), 0.30, 0xCEC);
+        return runSpmvCsc(m, v, cfg, knobs.tiles).timing;
+    }
+    if (app == "PR-Pull")
+        return runPageRankPull(m, knobs.iterations, cfg, knobs.tiles)
+            .timing;
+    if (app == "PR-Edge")
+        return runPageRankEdge(m, knobs.iterations, cfg, knobs.tiles)
+            .timing;
+    if (app == "BFS")
+        return runBfs(m, 0, cfg, knobs.tiles, knobs.write_pointers)
+            .timing;
+    if (app == "SSSP")
+        return runSssp(m, 0, cfg, knobs.tiles, knobs.write_pointers)
+            .timing;
+    if (app == "M+M") {
+        // Add the dataset to its transpose: same dimensions and
+        // density, different (but correlated) occupancy.
+        static std::map<DatasetKey, sparse::CsrMatrix> tcache;
+        DatasetKey key{dataset, std::lround(scale * 1000)};
+        auto it = tcache.find(key);
+        if (it == tcache.end())
+            it = tcache.emplace(key, m.transpose()).first;
+        return runMatAdd(m, it->second, cfg, knobs.tiles,
+                         knobs.use_bittree)
+            .timing;
+    }
+    if (app == "SpMSpM")
+        return runSpmspm(m, m, cfg, knobs.tiles).timing;
+    if (app == "BiCGStab")
+        return runBicgstab(m, denseInput(m.rows()), knobs.iterations,
+                           cfg, knobs.tiles)
+            .timing;
+    throw std::invalid_argument("unknown app: " + app);
+}
+
+RunResult
+runDriver(const DriverOptions &opts)
+{
+    auto canonical = canonicalApp(opts.app);
+    if (!canonical)
+        throw std::invalid_argument("unknown app: " + opts.app);
+
+    RunResult r;
+    r.app = *canonical;
+    r.dataset = opts.dataset.empty() ? defaultDataset(*canonical)
+                                     : opts.dataset;
+    r.config_name = configPointName(opts.config);
+    r.tiles = opts.tiles;
+    r.iterations = opts.iterations;
+    r.config = buildConfig(opts);
+
+    RunKnobs knobs;
+    knobs.tiles = opts.tiles;
+    knobs.iterations = opts.iterations;
+    knobs.scale_mult = opts.scale;
+    r.scale = effectiveScale(r.dataset, knobs);
+    r.timing = runApp(r.app, r.dataset, r.config, knobs);
+
+    if (r.app == "Conv") {
+        const ConvLayer &layer = cachedConv(r.dataset, r.scale).layer;
+        r.info.rows = layer.dim;
+        r.info.cols = layer.dim;
+        r.info.nnz = -1;
+    } else {
+        const sparse::CsrMatrix &m =
+            cachedMatrix(r.dataset, r.scale).matrix;
+        r.info.rows = m.rows();
+        r.info.cols = m.cols();
+        r.info.nnz = m.nnz();
+    }
+    return r;
+}
+
+JsonValue
+statsToJson(const RunResult &r)
+{
+    const lang::RunTotals &t = r.timing.totals;
+    const sim::DramStats &d = r.timing.dram;
+    const sim::SpmuStats &s = r.timing.spmu;
+
+    JsonValue doc = JsonValue::object();
+    doc.set("app", r.app);
+
+    JsonValue dataset = JsonValue::object();
+    dataset.set("name", r.dataset);
+    dataset.set("scale", r.scale);
+    dataset.set("rows", static_cast<std::int64_t>(r.info.rows));
+    dataset.set("cols", static_cast<std::int64_t>(r.info.cols));
+    dataset.set("nnz", static_cast<std::int64_t>(r.info.nnz));
+    doc.set("dataset", std::move(dataset));
+
+    JsonValue cfg = JsonValue::object();
+    cfg.set("name", r.config_name);
+    cfg.set("memtech", sim::memTechName(r.config.dram.tech));
+    cfg.set("tiles", r.tiles);
+    cfg.set("iterations", r.iterations);
+    cfg.set("clock_ghz", r.config.clock_ghz);
+    cfg.set("ordering", sim::orderingName(r.config.spmu.ordering));
+    cfg.set("merge", sim::mergeModeName(r.config.shuffle.mode));
+    cfg.set("queue_depth", r.config.spmu.queue_depth);
+    cfg.set("banks", r.config.spmu.banks);
+    cfg.set("compression", r.config.dram.compression);
+    doc.set("config", std::move(cfg));
+
+    JsonValue timing = JsonValue::object();
+    timing.set("cycles", static_cast<std::uint64_t>(r.timing.cycles));
+    timing.set("runtime_ms", r.timing.runtime_ms);
+    doc.set("timing", std::move(timing));
+
+    double counted = t.active_lane_cycles + t.vector_idle_lane_cycles;
+    JsonValue lanes = JsonValue::object();
+    lanes.set("active_lane_cycles", t.active_lane_cycles);
+    lanes.set("vector_idle_lane_cycles", t.vector_idle_lane_cycles);
+    lanes.set("scan_empty_cycles", t.scan_empty_cycles);
+    lanes.set("imbalance_lane_cycles", t.imbalance_lane_cycles);
+    lanes.set("tokens", t.tokens);
+    lanes.set("occupancy",
+              counted > 0 ? t.active_lane_cycles / counted : 0.0);
+    doc.set("lanes", std::move(lanes));
+
+    JsonValue dram = JsonValue::object();
+    dram.set("bursts", d.bursts);
+    dram.set("reads", d.reads);
+    dram.set("writes", d.writes);
+    dram.set("row_hits", d.row_hits);
+    dram.set("row_misses", d.row_misses);
+    dram.set("bytes", d.bytes);
+    dram.set("row_hit_rate", d.rowHitRate());
+    doc.set("dram", std::move(dram));
+
+    JsonValue spmu = JsonValue::object();
+    spmu.set("busy_cycles", static_cast<std::uint64_t>(s.cycles));
+    spmu.set("grants", s.grants);
+    spmu.set("vectors_in", s.vectors_in);
+    spmu.set("vectors_out", s.vectors_out);
+    spmu.set("enqueue_stalls", s.enqueue_stalls);
+    spmu.set("elided_reads", s.elided_reads);
+    spmu.set("splits", s.splits);
+    spmu.set("bank_utilization",
+             s.bankUtilization(r.config.spmu.banks));
+    doc.set("spmu", std::move(spmu));
+
+    return doc;
+}
+
+std::string
+statsToText(const RunResult &r)
+{
+    const lang::RunTotals &t = r.timing.totals;
+    const sim::DramStats &d = r.timing.dram;
+    const sim::SpmuStats &s = r.timing.spmu;
+    double counted = t.active_lane_cycles + t.vector_idle_lane_cycles;
+
+    std::ostringstream out;
+    out << r.app << " on " << r.dataset << " (scale " << r.scale
+        << ", " << r.info.rows << "x" << r.info.cols;
+    if (r.info.nnz >= 0)
+        out << ", " << r.info.nnz << " nnz";
+    out << ")\n";
+    out << "config: " << r.config_name << " / "
+        << sim::memTechName(r.config.dram.tech) << ", " << r.tiles
+        << " tiles\n";
+    out << "cycles: " << r.timing.cycles << "  ("
+        << r.timing.runtime_ms << " ms at " << r.config.clock_ghz
+        << " GHz)\n";
+    out << "lane occupancy: "
+        << (counted > 0 ? 100.0 * t.active_lane_cycles / counted : 0.0)
+        << "%  (" << t.tokens << " tokens)\n";
+    out << "dram: " << d.bursts << " bursts, " << d.bytes
+        << " bytes, row-hit rate " << 100.0 * d.rowHitRate() << "%\n";
+    out << "spmu: bank utilization "
+        << 100.0 * s.bankUtilization(r.config.spmu.banks) << "%, "
+        << s.elided_reads << " elided reads, " << s.enqueue_stalls
+        << " enqueue stalls\n";
+    return out.str();
+}
+
+} // namespace capstan::driver

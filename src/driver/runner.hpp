@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The simulation runner behind `capstan-run` and the bench harness.
+ *
+ * One entry point composes any Table 2 application with any Table 6
+ * dataset under any machine configuration and returns the full timing.
+ * Datasets are generated once per (name, scale) and cached for the
+ * lifetime of the process, so parameter sweeps only pay generation
+ * once. The bench binaries (`bench/`) delegate here, which keeps a
+ * single dispatch table for the whole repo.
+ */
+
+#ifndef CAPSTAN_DRIVER_RUNNER_HPP
+#define CAPSTAN_DRIVER_RUNNER_HPP
+
+#include <string>
+
+#include "apps/common.hpp"
+#include "driver/json.hpp"
+#include "driver/options.hpp"
+#include "sim/config.hpp"
+
+namespace capstan::driver {
+
+using apps::AppTiming;
+using sim::CapstanConfig;
+
+/** Per-run knobs shared by the CLI and the bench harness. */
+struct RunKnobs
+{
+    int tiles = 16;
+    int iterations = 2;  //!< PageRank / BiCGStab iterations.
+    double scale_mult = 1.0;
+    bool write_pointers = true; //!< BFS/SSSP back pointers.
+    bool use_bittree = true;    //!< M+M row format.
+};
+
+/**
+ * Default generation scale for a dataset in bench runs (relative to the
+ * published size; multiplied by the knobs' scale factor).
+ */
+double defaultScale(const std::string &dataset);
+
+/**
+ * The generation scale a run actually uses:
+ * defaultScale(dataset) * knobs.scale_mult. The single definition the
+ * dispatch and the reporting layer both key the dataset cache on.
+ */
+double effectiveScale(const std::string &dataset,
+                      const RunKnobs &knobs);
+
+/** Workload dimensions, for reporting. */
+struct DatasetInfo
+{
+    Index rows = 0;
+    Index cols = 0;
+    Index64 nnz = 0; //!< Matrix non-zeros; -1 for conv layers.
+};
+
+/**
+ * Run canonical app @p app ("CSR", "PR-Pull", ...) on @p dataset under
+ * @p cfg. Throws std::invalid_argument for unknown names.
+ */
+AppTiming runApp(const std::string &app, const std::string &dataset,
+                 const CapstanConfig &cfg, const RunKnobs &knobs = {});
+
+/** Result of one driver invocation. */
+struct RunResult
+{
+    std::string app;         //!< Canonical app key.
+    std::string dataset;
+    std::string config_name; //!< Requested design point.
+    double scale = 1.0;      //!< Effective generation scale.
+    int tiles = 16;
+    int iterations = 2;
+    DatasetInfo info;
+    CapstanConfig config;
+    AppTiming timing;
+};
+
+/** Execute the run an option set describes. */
+RunResult runDriver(const DriverOptions &opts);
+
+/**
+ * Serialize a result to the driver's JSON stats schema: run identity,
+ * machine configuration, cycle/runtime totals, lane-occupancy classes,
+ * DRAM traffic, and aggregate SpMU behaviour.
+ */
+JsonValue statsToJson(const RunResult &r);
+
+/** Human-readable one-run summary (the default, non-JSON output). */
+std::string statsToText(const RunResult &r);
+
+} // namespace capstan::driver
+
+#endif // CAPSTAN_DRIVER_RUNNER_HPP

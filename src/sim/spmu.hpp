@@ -20,6 +20,7 @@
 #define CAPSTAN_SIM_SPMU_HPP
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <optional>

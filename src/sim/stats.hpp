@@ -15,8 +15,6 @@
 #include <array>
 #include <string>
 
-#include "sim/config.hpp"
-
 namespace capstan::sim {
 
 /** The eight execution-time classes of Fig. 7, in plot order. */

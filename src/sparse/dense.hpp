@@ -11,6 +11,7 @@
 #define CAPSTAN_SPARSE_DENSE_HPP
 
 #include <cassert>
+#include <utility>
 #include <vector>
 
 #include "sparse/types.hpp"
