@@ -1,6 +1,7 @@
 #include "bench_util.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -74,6 +75,70 @@ parseArgs(int argc, char **argv)
             opts.iterations = std::atoi(argv[++i]);
     }
     return opts;
+}
+
+int
+parseJobs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            char *end = nullptr;
+            long jobs = std::strtol(argv[i + 1], &end, 10);
+            if (end == argv[i + 1] || *end != '\0' || jobs < 0 ||
+                jobs > 4096) {
+                std::fprintf(stderr,
+                             "--jobs requires a non-negative "
+                             "integer, got '%s'\n",
+                             argv[i + 1]);
+                std::exit(2);
+            }
+            return static_cast<int>(jobs);
+        }
+    }
+    return 0; // All cores.
+}
+
+driver::DriverOptions
+sweepBase(const std::string &app, const std::string &dataset,
+          const RunOptions &opts)
+{
+    driver::DriverOptions base;
+    base.app = app;
+    base.dataset = dataset;
+    base.scale = opts.scale_mult;
+    base.tiles = opts.tiles;
+    base.iterations = opts.iterations;
+    return base;
+}
+
+driver::SweepProgress
+benchProgress()
+{
+    return [](std::size_t done, std::size_t total,
+              const driver::SweepPointResult &r) {
+        if (r.ok)
+            std::fprintf(stderr, "  [%zu/%zu] %s / %s\n", done, total,
+                         r.result.app.c_str(),
+                         r.result.dataset.c_str());
+        else
+            std::fprintf(stderr, "  [%zu/%zu] FAILED: %s\n", done,
+                         total, r.error.c_str());
+    };
+}
+
+void
+requireAllOk(const std::vector<driver::SweepPointResult> &results)
+{
+    bool failed = false;
+    for (const auto &r : results) {
+        if (!r.ok) {
+            std::fprintf(stderr, "sweep point failed: %s\n",
+                         r.error.c_str());
+            failed = true;
+        }
+    }
+    if (failed)
+        std::exit(1);
 }
 
 double

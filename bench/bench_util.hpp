@@ -22,6 +22,7 @@
 
 #include "apps/common.hpp"
 #include "driver/runner.hpp"
+#include "driver/sweep.hpp"
 #include "sim/config.hpp"
 
 namespace capstan::bench {
@@ -67,6 +68,30 @@ double seconds(const AppTiming &t);
 
 /** Parse `--scale <f>` (and `--tiles <n>`) from argv. */
 RunOptions parseArgs(int argc, char **argv);
+
+/** Parse `--jobs <n>` (sweep worker threads; 0 = all cores). */
+int parseJobs(int argc, char **argv);
+
+/**
+ * The driver base point a bench sweep varies around: @p app on
+ * @p dataset (empty = the app's default) under the harness knobs.
+ * Sweep-driven benches (fig5_sensitivity, table9_spmu_sensitivity)
+ * build SweepSpecs from this, expand them with driver::expandSweep,
+ * and execute the concatenated points with driver::runSweep — the
+ * same parallel path as `capstan-run --sweep`.
+ */
+driver::DriverOptions sweepBase(const std::string &app,
+                                const std::string &dataset,
+                                const RunOptions &opts);
+
+/** Progress printer ("  [3/77] CSR / ckt11752_dc_1") for stderr. */
+driver::SweepProgress benchProgress();
+
+/**
+ * Abort the bench (exit 1) if any sweep point failed, so a broken run
+ * can never print inf/nan cells and still exit 0 under bench_smoke.
+ */
+void requireAllOk(const std::vector<driver::SweepPointResult> &results);
 
 /** Geometric mean of positive values (non-positive entries skipped). */
 double gmean(const std::vector<double> &values);

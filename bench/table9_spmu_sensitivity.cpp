@@ -4,17 +4,23 @@
  * normalized to Capstan's allocated design with address hashing:
  * Ideal (no bank conflicts), Capstan {hash, linear}, weak allocator
  * {hash, linear}, arbitrated {hash, linear}.
+ *
+ * Each variant declares a SweepSpec whose app axis expands to all
+ * eleven applications (each on its family's default dataset); the
+ * driver's sweep engine executes the 77-point study on a thread pool
+ * (`--jobs N`, default all cores), exactly like `capstan-run --sweep`.
  */
 
 #include <cstdio>
 #include <map>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 
 using namespace capstan::bench;
+namespace driver = capstan::driver;
 namespace sim = capstan::sim;
-using sim::CapstanConfig;
-using sim::MemTech;
 
 namespace {
 
@@ -44,58 +50,62 @@ int
 main(int argc, char **argv)
 {
     RunOptions opts = parseArgs(argc, argv);
+    int jobs = parseJobs(argc, argv);
 
     std::printf("Table 9: sensitivity to SpMU architecture "
                 "(runtime normalized to Capstan+hash; ours / paper)\n\n");
 
     struct Variant
     {
-        std::string name;
-        bool ideal;
-        sim::AllocatorKind alloc;
-        sim::Ordering ordering;
-        sim::BankHash hash;
+        std::string ordering; //!< Sweep-axis value ("unordered", ...).
+        std::string hash;     //!< "xor" or "linear".
+        std::string allocator;//!< "full" or "weak".
+        std::string ideal;    //!< "true" for the conflict-free SpMU.
     };
     const std::vector<Variant> variants = {
-        {"Ideal", true, sim::AllocatorKind::Full,
-         sim::Ordering::Unordered, sim::BankHash::Xor},
-        {"Hash", false, sim::AllocatorKind::Full,
-         sim::Ordering::Unordered, sim::BankHash::Xor},
-        {"Lin.", false, sim::AllocatorKind::Full,
-         sim::Ordering::Unordered, sim::BankHash::Linear},
-        {"WeakHash", false, sim::AllocatorKind::Weak,
-         sim::Ordering::Unordered, sim::BankHash::Xor},
-        {"WeakLin", false, sim::AllocatorKind::Weak,
-         sim::Ordering::Unordered, sim::BankHash::Linear},
-        {"ArbHash", false, sim::AllocatorKind::Full,
-         sim::Ordering::Arbitrated, sim::BankHash::Xor},
-        {"ArbLin", false, sim::AllocatorKind::Full,
-         sim::Ordering::Arbitrated, sim::BankHash::Linear},
+        {"unordered", "xor", "full", "true"},     // Ideal
+        {"unordered", "xor", "full", "false"},    // Hash (baseline)
+        {"unordered", "linear", "full", "false"}, // Lin.
+        {"unordered", "xor", "weak", "false"},    // Weak-H
+        {"unordered", "linear", "weak", "false"}, // Weak-L
+        {"arbitrated", "xor", "full", "false"},   // Arb-H
+        {"arbitrated", "linear", "full", "false"},// Arb-L
+    };
+
+    // One spec per variant; the app axis expands to all eleven
+    // applications, each on its family's default (first) dataset —
+    // --scale trades fidelity for wall-time as before. Points are
+    // variant-major: index v * apps + a.
+    std::vector<driver::DriverOptions> points;
+    for (const auto &v : variants) {
+        driver::SweepSpec spec;
+        spec.base = sweepBase(allApps().front(), "", opts);
+        spec.set("app", allApps());
+        spec.set("ordering", {v.ordering});
+        spec.set("hash", {v.hash});
+        spec.set("allocator", {v.allocator});
+        spec.set("spmu-ideal", {v.ideal});
+        auto expanded = driver::expandSweep(spec);
+        points.insert(points.end(), expanded.begin(), expanded.end());
+    }
+    auto results = driver::runSweep(points, jobs, benchProgress());
+    requireAllOk(results);
+
+    const std::size_t napps = allApps().size();
+    auto secondsAt = [&](std::size_t variant, std::size_t app) {
+        return seconds(results[variant * napps + app].result.timing);
     };
 
     TablePrinter table({"App", "Ideal", "Hash", "Lin.", "Weak-H",
                         "Weak-L", "Arb-H", "Arb-L"});
     std::vector<std::vector<double>> columns(variants.size());
-    for (const auto &app : allApps()) {
-        // One representative dataset per app (the first of its family)
-        // keeps the 77-run sweep tractable; --scale trades fidelity.
-        std::string ds = datasetsFor(app)[0];
-        std::vector<double> times;
-        for (const auto &v : variants) {
-            CapstanConfig cfg = CapstanConfig::capstan(MemTech::HBM2E);
-            cfg.spmu.ideal = v.ideal;
-            cfg.spmu.allocator = v.alloc;
-            cfg.spmu.ordering = v.ordering;
-            cfg.spmu.hash = v.hash;
-            std::fprintf(stderr, "  %s / %s...\n", app.c_str(),
-                         v.name.c_str());
-            times.push_back(seconds(runApp(app, ds, cfg, opts)));
-        }
-        double base = times[1]; // Capstan + hash.
+    for (std::size_t a = 0; a < napps; ++a) {
+        const std::string &app = allApps()[a];
+        double base = secondsAt(1, a); // Capstan + hash.
         std::vector<std::string> row = {app};
         const auto &paper = paperRows().at(app);
-        for (std::size_t i = 0; i < times.size(); ++i) {
-            double norm = times[i] / base;
+        for (std::size_t i = 0; i < variants.size(); ++i) {
+            double norm = secondsAt(i, a) / base;
             columns[i].push_back(norm);
             row.push_back(TablePrinter::num(norm, 2) + " / " +
                           TablePrinter::num(paper[i], 2));

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Fail if any markdown doc references a repo file path that no longer
+# exists. Keeps docs/ARCHITECTURE.md's source map honest as code moves.
+#
+# A "path reference" is a backtick-quoted token starting with a known
+# top-level directory (src/, bench/, tests/, docs/, examples/,
+# scripts/, .github/) or a top-level *.md / *.json file. Tokens
+# containing globs, spaces, or placeholders are skipped. `path:line`
+# references check the path part only. Run from anywhere; checks the
+# repo the script lives in.
+
+set -u
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+
+missing="$(
+    for doc in "$repo"/docs/*.md "$repo"/README.md; do
+        [ -f "$doc" ] || continue
+        grep -o '`[^`]*`' "$doc" | sed 's/^`//; s/`$//' | sort -u |
+        while IFS= read -r token; do
+            case "$token" in
+                *'*'*|*' '*|*'<'*|*'{'*|*'$'*) continue ;;
+                src/*|bench/*|tests/*|docs/*|examples/*|scripts/*|.github/*) ;;
+                */*) continue ;;
+                *.md|*.json) ;;
+                *) continue ;;
+            esac
+            path="${token%%:*}"
+            if [ ! -e "$repo/$path" ]; then
+                echo "MISSING: $path (referenced by ${doc#"$repo"/})"
+            fi
+        done
+    done
+)"
+
+if [ -n "$missing" ]; then
+    echo "$missing"
+    echo "check_doc_paths: stale file references found" >&2
+    exit 1
+fi
+echo "check_doc_paths: all referenced paths exist"

@@ -4,29 +4,148 @@
  *
  * Composes an application, a workload, and a machine configuration from
  * flags, runs the cycle-level simulation, and reports stats as either a
- * human-readable summary or machine-readable JSON (for perf-trajectory
- * tracking and parameter sweeps).
+ * human-readable summary or machine-readable JSON. With `--sweep` /
+ * `--axis` it instead expands a declarative SweepSpec into a cartesian
+ * work list and executes it on a thread pool (driver/sweep.hpp),
+ * emitting one aggregated JSON report (plus optional CSV).
+ *
+ * The same binary also builds as `capstan-sweep`, an alias whose first
+ * positional argument is the sweep spec: `capstan-sweep spec.json
+ * --jobs 8` is `capstan-run --sweep spec.json --jobs 8`.
  */
 
 #include <cstdio>
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "driver/options.hpp"
 #include "driver/runner.hpp"
+#include "driver/sweep.hpp"
+
+namespace {
+
+using namespace capstan::driver;
+
+std::string
+programName(const char *argv0)
+{
+    std::string name = argv0 ? argv0 : "";
+    std::size_t slash = name.find_last_of('/');
+    return slash == std::string::npos ? name : name.substr(slash + 1);
+}
+
+bool
+writeReport(const std::string &path, const std::string &report,
+            const std::string &prog)
+{
+    if (path.empty()) {
+        std::cout << report;
+        return true;
+    }
+    std::ofstream out(path);
+    if (out)
+        out << report;
+    out.close();
+    if (!out) {
+        std::cerr << prog << ": failed writing '" << path << "'\n";
+        return false;
+    }
+    return true;
+}
+
+int
+runSingle(const DriverOptions &opts, const std::string &prog)
+{
+    RunResult result = runDriver(opts);
+    std::string report =
+        opts.json ? statsToJson(result).dump(opts.json_indent) + "\n"
+                  : statsToText(result);
+    return writeReport(opts.output, report, prog) ? 0 : 1;
+}
+
+int
+runSweepMode(const DriverOptions &opts, const std::string &prog)
+{
+    JsonValue spec_doc;
+    bool have_doc = false;
+    if (!opts.sweep_file.empty()) {
+        std::ifstream in(opts.sweep_file);
+        if (!in) {
+            std::cerr << prog << ": cannot open sweep spec '"
+                      << opts.sweep_file << "'\n";
+            return 2;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        spec_doc = JsonValue::parse(text.str());
+        have_doc = true;
+    }
+
+    SweepSpec spec =
+        specFromOptions(opts, have_doc ? &spec_doc : nullptr);
+    std::vector<DriverOptions> points = expandSweep(spec);
+    if (points.empty()) {
+        std::cerr << prog << ": sweep expands to zero points\n";
+        return 2;
+    }
+
+    int jobs = resolveJobs(opts.jobs);
+    std::fprintf(stderr, "%s: %zu points on %d thread%s\n",
+                 prog.c_str(), points.size(), jobs,
+                 jobs == 1 ? "" : "s");
+    auto progress = [&](std::size_t done, std::size_t total,
+                        const SweepPointResult &r) {
+        if (r.ok)
+            std::fprintf(stderr, "  [%zu/%zu] %s / %s: %llu cycles\n",
+                         done, total, r.result.app.c_str(),
+                         r.result.dataset.c_str(),
+                         static_cast<unsigned long long>(
+                             r.result.timing.cycles));
+        else
+            std::fprintf(stderr, "  [%zu/%zu] FAILED: %s\n", done,
+                         total, r.error.c_str());
+    };
+    std::vector<SweepPointResult> results =
+        runSweep(points, jobs, progress);
+
+    std::string report =
+        sweepReportToJson(spec, results).dump(opts.json_indent) + "\n";
+    if (!writeReport(opts.output, report, prog))
+        return 1;
+    if (!opts.csv_output.empty() &&
+        !writeReport(opts.csv_output, sweepReportToCsv(results), prog))
+        return 1;
+
+    for (const auto &r : results) {
+        if (!r.ok)
+            return 1; // Report emitted; signal the partial failure.
+    }
+    return 0;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
-    using namespace capstan::driver;
+    std::string prog = programName(argc > 0 ? argv[0] : nullptr);
+    bool sweep_alias = prog == "capstan-sweep";
+    if (prog.empty())
+        prog = "capstan-run";
 
+    // The alias takes the spec as its first positional argument.
     std::vector<std::string> args(argv + 1, argv + argc);
+    if (sweep_alias && !args.empty() && !args[0].empty() &&
+        args[0][0] != '-')
+        args.insert(args.begin(), "--sweep");
+
     ParseResult parsed = parseArgs(args);
     if (!parsed.ok()) {
-        std::cerr << "capstan-run: " << parsed.error << "\n";
+        std::cerr << prog << ": " << parsed.error << "\n";
         return 2;
     }
     if (parsed.show_help) {
@@ -37,34 +156,19 @@ main(int argc, char **argv)
         std::cout << listText();
         return 0;
     }
+    if (sweep_alias && !parsed.options.sweepRequested()) {
+        std::cerr << prog
+                  << ": expected a sweep spec (capstan-sweep "
+                     "spec.json) or --axis flags\n";
+        return 2;
+    }
 
     try {
-        RunResult result = runDriver(parsed.options);
-        std::string report =
-            parsed.options.json
-                ? statsToJson(result).dump(parsed.options.json_indent) +
-                      "\n"
-                : statsToText(result);
-        if (parsed.options.output.empty()) {
-            std::cout << report;
-        } else {
-            std::ofstream out(parsed.options.output);
-            if (!out) {
-                std::cerr << "capstan-run: cannot open '"
-                          << parsed.options.output << "' for writing\n";
-                return 1;
-            }
-            out << report;
-            out.close();
-            if (!out) {
-                std::cerr << "capstan-run: failed writing '"
-                          << parsed.options.output << "'\n";
-                return 1;
-            }
-        }
+        return parsed.options.sweepRequested()
+                   ? runSweepMode(parsed.options, prog)
+                   : runSingle(parsed.options, prog);
     } catch (const std::exception &e) {
-        std::cerr << "capstan-run: " << e.what() << "\n";
+        std::cerr << prog << ": " << e.what() << "\n";
         return 1;
     }
-    return 0;
 }

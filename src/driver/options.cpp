@@ -151,7 +151,117 @@ parseInt(const std::string &v, int &out)
     return true;
 }
 
+bool
+parseBool(const std::string &v, bool &out)
+{
+    std::string n = lower(v);
+    if (n == "true" || n == "on" || n == "1" || n == "yes")
+        out = true;
+    else if (n == "false" || n == "off" || n == "0" || n == "no")
+        out = false;
+    else
+        return false;
+    return true;
+}
+
 } // namespace
+
+const std::vector<std::string> &
+optionKeys()
+{
+    static const std::vector<std::string> keys = {
+        "app",       "dataset",   "scale",          "tiles",
+        "iterations", "config",   "memtech",        "ordering",
+        "merge",     "hash",      "allocator",      "queue-depth",
+        "bandwidth-gbps", "compression", "spmu-ideal"};
+    return keys;
+}
+
+std::string
+applyOption(DriverOptions &o, const std::string &key,
+            const std::string &v)
+{
+    if (key == "app") {
+        if (!canonicalApp(v))
+            return "unknown app '" + v + "'";
+        o.app = v;
+    } else if (key == "dataset") {
+        o.dataset = v;
+    } else if (key == "scale") {
+        if (!parseNumber(v, o.scale) || o.scale <= 0)
+            return "scale requires a positive number";
+    } else if (key == "tiles") {
+        if (!parseInt(v, o.tiles) || o.tiles < 1)
+            return "tiles requires a positive integer";
+    } else if (key == "iterations") {
+        if (!parseInt(v, o.iterations) || o.iterations < 1)
+            return "iterations requires a positive integer";
+    } else if (key == "config") {
+        std::string n = lower(v);
+        if (n == "capstan")
+            o.config = ConfigPoint::Capstan;
+        else if (n == "plasticine")
+            o.config = ConfigPoint::Plasticine;
+        else if (n == "ideal")
+            o.config = ConfigPoint::Ideal;
+        else
+            return "unknown config '" + v +
+                   "' (capstan|plasticine|ideal)";
+    } else if (key == "memtech") {
+        if (!parseMemTech(v, o.memtech))
+            return "memtech requires ddr4|hbm2|hbm2e|ideal";
+    } else if (key == "ordering") {
+        sim::Ordering ord;
+        if (!parseOrdering(v, ord))
+            return "ordering requires unordered|address|fully|"
+                   "arbitrated";
+        o.ordering = ord;
+    } else if (key == "merge") {
+        sim::MergeMode m;
+        if (!parseMerge(v, m))
+            return "merge requires none|mrg0|mrg1|mrg16";
+        o.merge = m;
+    } else if (key == "hash") {
+        std::string n = lower(v);
+        if (n == "linear")
+            o.hash = sim::BankHash::Linear;
+        else if (n == "xor")
+            o.hash = sim::BankHash::Xor;
+        else
+            return "hash requires linear|xor";
+    } else if (key == "allocator") {
+        std::string n = lower(v);
+        if (n == "full")
+            o.allocator = sim::AllocatorKind::Full;
+        else if (n == "weak")
+            o.allocator = sim::AllocatorKind::Weak;
+        else
+            return "allocator requires full|weak";
+    } else if (key == "queue-depth") {
+        int d;
+        if (!parseInt(v, d) || d < 1)
+            return "queue-depth requires a positive integer";
+        o.queue_depth = d;
+    } else if (key == "bandwidth-gbps") {
+        double b;
+        if (!parseNumber(v, b) || b <= 0)
+            return "bandwidth-gbps requires a positive number";
+        o.bandwidth_gbps = b;
+    } else if (key == "compression") {
+        bool c;
+        if (!parseBool(v, c))
+            return "compression requires true|false";
+        o.compression = c;
+    } else if (key == "spmu-ideal") {
+        bool s;
+        if (!parseBool(v, s))
+            return "spmu-ideal requires true|false";
+        o.spmu_ideal = s;
+    } else {
+        return "unknown option '" + key + "'";
+    }
+    return "";
+}
 
 ParseResult
 parseArgs(const std::vector<std::string> &args)
@@ -184,94 +294,53 @@ parseArgs(const std::vector<std::string> &args)
             o.json_indent = 0;
         } else if (a == "--compression") {
             o.compression = true;
-        } else if (a == "--app") {
-            if (!value(v))
-                return fail("--app requires a value");
-            if (!canonicalApp(v))
-                return fail("unknown app '" + v + "'");
-            o.app = v;
-        } else if (a == "--dataset") {
-            if (!value(v))
-                return fail("--dataset requires a value");
-            o.dataset = v;
-        } else if (a == "--scale") {
-            if (!value(v) || !parseNumber(v, o.scale) || o.scale <= 0)
-                return fail("--scale requires a positive number");
-        } else if (a == "--tiles") {
-            if (!value(v) || !parseInt(v, o.tiles) || o.tiles < 1)
-                return fail("--tiles requires a positive integer");
-        } else if (a == "--iterations") {
-            if (!value(v) || !parseInt(v, o.iterations) ||
-                o.iterations < 1)
-                return fail("--iterations requires a positive integer");
-        } else if (a == "--config") {
-            if (!value(v))
-                return fail("--config requires a value");
-            std::string n = lower(v);
-            if (n == "capstan")
-                o.config = ConfigPoint::Capstan;
-            else if (n == "plasticine")
-                o.config = ConfigPoint::Plasticine;
-            else if (n == "ideal")
-                o.config = ConfigPoint::Ideal;
-            else
-                return fail("unknown config '" + v +
-                            "' (capstan|plasticine|ideal)");
-        } else if (a == "--memtech") {
-            if (!value(v) || !parseMemTech(v, o.memtech))
-                return fail("--memtech requires ddr4|hbm2|hbm2e|ideal");
-        } else if (a == "--ordering") {
-            sim::Ordering ord;
-            if (!value(v) || !parseOrdering(v, ord))
-                return fail("--ordering requires "
-                            "unordered|address|fully|arbitrated");
-            o.ordering = ord;
-        } else if (a == "--merge") {
-            sim::MergeMode m;
-            if (!value(v) || !parseMerge(v, m))
-                return fail("--merge requires none|mrg0|mrg1|mrg16");
-            o.merge = m;
-        } else if (a == "--hash") {
-            if (!value(v))
-                return fail("--hash requires linear|xor");
-            std::string n = lower(v);
-            if (n == "linear")
-                o.hash = sim::BankHash::Linear;
-            else if (n == "xor")
-                o.hash = sim::BankHash::Xor;
-            else
-                return fail("--hash requires linear|xor");
-        } else if (a == "--allocator") {
-            if (!value(v))
-                return fail("--allocator requires full|weak");
-            std::string n = lower(v);
-            if (n == "full")
-                o.allocator = sim::AllocatorKind::Full;
-            else if (n == "weak")
-                o.allocator = sim::AllocatorKind::Weak;
-            else
-                return fail("--allocator requires full|weak");
-        } else if (a == "--queue-depth") {
-            int d;
-            if (!value(v) || !parseInt(v, d) || d < 1)
-                return fail("--queue-depth requires a positive integer");
-            o.queue_depth = d;
-        } else if (a == "--bandwidth-gbps") {
-            double b;
-            if (!value(v) || !parseNumber(v, b) || b <= 0)
-                return fail("--bandwidth-gbps requires a positive "
-                            "number");
-            o.bandwidth_gbps = b;
+        } else if (a == "--spmu-ideal") {
+            o.spmu_ideal = true;
         } else if (a == "--output") {
             if (!value(v))
                 return fail("--output requires a path");
             o.output = v;
+        } else if (a == "--sweep") {
+            if (!value(v))
+                return fail("--sweep requires a spec path");
+            o.sweep_file = v;
+        } else if (a == "--axis") {
+            if (!value(v))
+                return fail("--axis requires KEY=V1,V2,...");
+            std::size_t eq = v.find('=');
+            if (eq == std::string::npos || eq == 0 ||
+                eq + 1 >= v.size())
+                return fail("--axis requires KEY=V1,V2,...");
+            o.sweep_axes.emplace_back(v.substr(0, eq),
+                                      v.substr(eq + 1));
+        } else if (a == "--jobs") {
+            if (!value(v) || !parseInt(v, o.jobs) || o.jobs < 0)
+                return fail("--jobs requires a non-negative integer");
+        } else if (a == "--csv") {
+            if (!value(v))
+                return fail("--csv requires a path");
+            o.csv_output = v;
+        } else if (a.rfind("--", 0) == 0) {
+            std::string key = a.substr(2);
+            bool known = false;
+            for (const auto &k : optionKeys())
+                known |= (k == key);
+            if (!known)
+                return fail("unknown flag '" + a + "' (see --help)");
+            if (!value(v))
+                return fail(a + " requires a value");
+            std::string err = applyOption(o, key, v);
+            if (!err.empty())
+                return fail(err);
         } else {
             return fail("unknown flag '" + a + "' (see --help)");
         }
     }
 
-    if (o.dataset.empty())
+    // Single runs resolve the app's default dataset eagerly, for
+    // display; sweeps keep it empty so each swept app gets its own
+    // default at expansion time.
+    if (o.dataset.empty() && !o.sweepRequested())
         o.dataset = defaultDataset(*canonicalApp(o.app));
     return r;
 }
@@ -305,6 +374,8 @@ buildConfig(const DriverOptions &o)
         cfg.dram.bandwidth_override_gbps = *o.bandwidth_gbps;
     if (o.compression)
         cfg.dram.compression = true;
+    if (o.spmu_ideal)
+        cfg.spmu.ideal = *o.spmu_ideal;
     return cfg;
 }
 
@@ -346,6 +417,20 @@ usageText()
         "  --queue-depth N    SpMU issue-queue depth\n"
         "  --bandwidth-gbps B DRAM bandwidth override\n"
         "  --compression      enable pointer-tile DRAM compression\n"
+        "  --spmu-ideal       conflict-free SpMU (Table 9 'Ideal')\n"
+        "\n"
+        "Sweeps (see docs/OUTPUT_SCHEMA.md for the report format):\n"
+        "  --sweep PATH       run the cartesian sweep a JSON spec\n"
+        "                     describes; single-run flags above set\n"
+        "                     the base point\n"
+        "  --axis KEY=V1,V2   sweep KEY over the listed values\n"
+        "                     (repeatable; overrides the spec's axis;\n"
+        "                     keys: app dataset scale tiles iterations\n"
+        "                     config memtech ordering merge hash\n"
+        "                     allocator queue-depth bandwidth-gbps\n"
+        "                     compression spmu-ideal)\n"
+        "  --jobs N           sweep worker threads (default: all cores)\n"
+        "  --csv PATH         also write the sweep report as CSV\n"
         "\n"
         "Output:\n"
         "  --json             emit machine-readable JSON stats\n"

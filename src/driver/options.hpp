@@ -46,10 +46,25 @@ struct DriverOptions
     std::optional<int> queue_depth;
     std::optional<double> bandwidth_gbps;    //!< DRAM override (Fig. 5a).
     bool compression = false;     //!< Pointer-tile DRAM compression.
+    std::optional<bool> spmu_ideal; //!< Conflict-free SpMU (Table 9).
 
     bool json = false;            //!< Emit JSON stats instead of text.
     int json_indent = 2;          //!< 0 = compact.
     std::string output;           //!< Write stats here; empty = stdout.
+
+    // Sweep mode (src/driver/sweep.hpp). The single-run fields above
+    // become the base point every sweep axis varies around.
+    std::string sweep_file;       //!< JSON SweepSpec path (--sweep).
+    /** Repeated `--axis key=v1,v2,...` values, in command-line order. */
+    std::vector<std::pair<std::string, std::string>> sweep_axes;
+    int jobs = 0;                 //!< Worker threads; 0 = all cores.
+    std::string csv_output;       //!< Also write the sweep report as CSV.
+
+    /** True when any sweep flag was given. */
+    bool sweepRequested() const
+    {
+        return !sweep_file.empty() || !sweep_axes.empty();
+    }
 };
 
 /** Outcome of parsing one argument vector. */
@@ -78,6 +93,24 @@ std::string defaultDataset(const std::string &canonical_app);
 
 /** Parse arguments (excluding argv[0]). Never throws. */
 ParseResult parseArgs(const std::vector<std::string> &args);
+
+/**
+ * The run-defining option keys settable by name: "app", "dataset",
+ * "scale", "tiles", "iterations", "config", "memtech", "ordering",
+ * "merge", "hash", "allocator", "queue-depth", "bandwidth-gbps",
+ * "compression", "spmu-ideal". Flag parsing and sweep-axis expansion
+ * (sweep.hpp) share this list, so a sweep can vary exactly what a
+ * single run can set.
+ */
+const std::vector<std::string> &optionKeys();
+
+/**
+ * Apply one named option value (e.g. "memtech", "ddr4") to @p opts.
+ * Returns an empty string on success, a diagnostic otherwise. This is
+ * the single validation path behind parseArgs() and sweep axes.
+ */
+std::string applyOption(DriverOptions &opts, const std::string &key,
+                        const std::string &value);
 
 /** Build the machine configuration an option set describes. */
 sim::CapstanConfig buildConfig(const DriverOptions &opts);

@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <tuple>
@@ -57,26 +59,63 @@ struct DatasetKey
     }
 };
 
+/**
+ * Generate-once cache shared by concurrent sweep workers. A short
+ * global lock maps the key to a per-entry slot; generation runs under
+ * the entry's own once-flag, so two threads asking for the same
+ * (name, scale) block on one generation while different datasets
+ * generate in parallel. Entries are heap-allocated and never evicted,
+ * so returned references stay valid for the process lifetime (the
+ * contract the single-threaded cache always had). A generator that
+ * throws (unknown dataset name) leaves the once-flag unset, so the
+ * error is reported to every caller rather than cached.
+ */
+template <typename T> class GenerateOnceCache
+{
+  public:
+    template <typename Generator>
+    const T &get(const DatasetKey &key, Generator &&generate)
+    {
+        std::shared_ptr<Entry> entry;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            std::shared_ptr<Entry> &slot = entries_[key];
+            if (!slot)
+                slot = std::make_shared<Entry>();
+            entry = slot;
+        }
+        std::call_once(entry->once, [&] {
+            entry->value = std::make_unique<T>(generate());
+        });
+        return *entry->value;
+    }
+
+  private:
+    struct Entry
+    {
+        std::once_flag once;
+        std::unique_ptr<T> value;
+    };
+
+    std::mutex mutex_;
+    std::map<DatasetKey, std::shared_ptr<Entry>> entries_;
+};
+
 const MatrixDataset &
 cachedMatrix(const std::string &name, double scale)
 {
-    static std::map<DatasetKey, MatrixDataset> cache;
+    static GenerateOnceCache<MatrixDataset> cache;
     DatasetKey key{name, std::lround(scale * 1000)};
-    auto it = cache.find(key);
-    if (it == cache.end())
-        it = cache.emplace(key, loadMatrixDataset(name, scale)).first;
-    return it->second;
+    return cache.get(key,
+                     [&] { return loadMatrixDataset(name, scale); });
 }
 
 const ConvDataset &
 cachedConv(const std::string &name, double scale)
 {
-    static std::map<DatasetKey, ConvDataset> cache;
+    static GenerateOnceCache<ConvDataset> cache;
     DatasetKey key{name, std::lround(scale * 1000)};
-    auto it = cache.find(key);
-    if (it == cache.end())
-        it = cache.emplace(key, loadConvDataset(name, scale)).first;
-    return it->second;
+    return cache.get(key, [&] { return loadConvDataset(name, scale); });
 }
 
 sparse::DenseVector
@@ -133,13 +172,11 @@ runApp(const std::string &app, const std::string &dataset,
     if (app == "M+M") {
         // Add the dataset to its transpose: same dimensions and
         // density, different (but correlated) occupancy.
-        static std::map<DatasetKey, sparse::CsrMatrix> tcache;
+        static GenerateOnceCache<sparse::CsrMatrix> tcache;
         DatasetKey key{dataset, std::lround(scale * 1000)};
-        auto it = tcache.find(key);
-        if (it == tcache.end())
-            it = tcache.emplace(key, m.transpose()).first;
-        return runMatAdd(m, it->second, cfg, knobs.tiles,
-                         knobs.use_bittree)
+        const sparse::CsrMatrix &mt =
+            tcache.get(key, [&] { return m.transpose(); });
+        return runMatAdd(m, mt, cfg, knobs.tiles, knobs.use_bittree)
             .timing;
     }
     if (app == "SpMSpM")
@@ -215,9 +252,17 @@ statsToJson(const RunResult &r)
     cfg.set("clock_ghz", r.config.clock_ghz);
     cfg.set("ordering", sim::orderingName(r.config.spmu.ordering));
     cfg.set("merge", sim::mergeModeName(r.config.shuffle.mode));
+    cfg.set("hash", sim::bankHashName(r.config.spmu.hash));
+    cfg.set("allocator",
+            sim::allocatorKindName(r.config.spmu.allocator));
     cfg.set("queue_depth", r.config.spmu.queue_depth);
     cfg.set("banks", r.config.spmu.banks);
+    cfg.set("bandwidth_gbps",
+            r.config.dram.bandwidth_override_gbps > 0
+                ? r.config.dram.bandwidth_override_gbps
+                : sim::memTechBandwidth(r.config.dram.tech));
     cfg.set("compression", r.config.dram.compression);
+    cfg.set("spmu_ideal", r.config.spmu.ideal);
     doc.set("config", std::move(cfg));
 
     JsonValue timing = JsonValue::object();

@@ -6,8 +6,11 @@
  * dataset under any machine configuration and returns the full timing.
  * Datasets are generated once per (name, scale) and cached for the
  * lifetime of the process, so parameter sweeps only pay generation
- * once. The bench binaries (`bench/`) delegate here, which keeps a
- * single dispatch table for the whole repo.
+ * once; the cache is thread-safe with generate-once semantics, so the
+ * sweep engine's workers (driver/sweep.hpp) can run points
+ * concurrently and share workloads. The bench binaries (`bench/`)
+ * delegate here, which keeps a single dispatch table for the whole
+ * repo.
  */
 
 #ifndef CAPSTAN_DRIVER_RUNNER_HPP

@@ -1,0 +1,390 @@
+#include "driver/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+namespace capstan::driver {
+
+namespace {
+
+std::size_t
+axisRank(const std::string &key)
+{
+    const auto &keys = optionKeys();
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        if (keys[i] == key)
+            return i;
+    }
+    throw std::invalid_argument("unknown sweep axis '" + key +
+                                "' (see capstan-run --help)");
+}
+
+/** One string per value, canonical for numbers and bools. */
+std::string
+scalarToString(const JsonValue &v, const std::string &key)
+{
+    switch (v.kind()) {
+    case JsonValue::Kind::String:
+        return v.asString();
+    case JsonValue::Kind::Number:
+        return v.dump();
+    case JsonValue::Kind::Bool:
+        return v.asBool() ? "true" : "false";
+    default:
+        throw std::invalid_argument(
+            "sweep axis '" + key +
+            "' values must be strings, numbers, or booleans");
+    }
+}
+
+std::string
+optionalStr(bool present, const std::string &s)
+{
+    return present ? s : "-";
+}
+
+/**
+ * Canonical identity of the run a point describes, for deduplication.
+ * Aliased app names ("spmv" vs "csr") collapse; an empty dataset means
+ * "the app's default" and is resolved before comparing.
+ */
+std::string
+pointIdentity(const DriverOptions &o)
+{
+    std::string app = canonicalApp(o.app).value_or(o.app);
+    std::string dataset =
+        o.dataset.empty() ? defaultDataset(app) : o.dataset;
+    std::ostringstream id;
+    id << app << '\x1f' << dataset << '\x1f' << o.scale << '\x1f'
+       << o.tiles << '\x1f' << o.iterations << '\x1f'
+       << configPointName(o.config) << '\x1f'
+       << sim::memTechName(o.memtech) << '\x1f'
+       << optionalStr(o.ordering.has_value(),
+                      o.ordering ? sim::orderingName(*o.ordering) : "")
+       << '\x1f'
+       << optionalStr(o.merge.has_value(),
+                      o.merge ? sim::mergeModeName(*o.merge) : "")
+       << '\x1f'
+       << optionalStr(o.hash.has_value(),
+                      o.hash ? sim::bankHashName(*o.hash) : "")
+       << '\x1f'
+       << optionalStr(o.allocator.has_value(),
+                      o.allocator ? sim::allocatorKindName(*o.allocator)
+                                  : "")
+       << '\x1f'
+       << (o.queue_depth ? std::to_string(*o.queue_depth) : "-")
+       << '\x1f'
+       << (o.bandwidth_gbps ? std::to_string(*o.bandwidth_gbps) : "-")
+       << '\x1f' << (o.compression ? 't' : 'f') << '\x1f'
+       << (o.spmu_ideal ? (*o.spmu_ideal ? "t" : "f") : "-");
+    return id.str();
+}
+
+} // namespace
+
+void
+SweepSpec::set(const std::string &key, std::vector<std::string> values)
+{
+    std::size_t rank = axisRank(key); // Throws on unknown keys.
+    if (values.empty())
+        throw std::invalid_argument("sweep axis '" + key +
+                                    "' has no values");
+    for (auto &axis : axes) {
+        if (axis.key == key) {
+            axis.values = std::move(values);
+            return;
+        }
+    }
+    auto pos = std::find_if(axes.begin(), axes.end(),
+                            [&](const SweepAxis &a) {
+                                return axisRank(a.key) > rank;
+                            });
+    axes.insert(pos, SweepAxis{key, std::move(values)});
+}
+
+SweepSpec
+SweepSpec::fromJson(const JsonValue &doc, const DriverOptions &base)
+{
+    if (!doc.isObject())
+        throw std::invalid_argument(
+            "sweep spec must be a JSON object of axis: values members");
+    SweepSpec spec;
+    spec.base = base;
+    for (const auto &[key, value] : doc.members()) {
+        std::vector<std::string> values;
+        if (value.isArray()) {
+            for (const auto &item : value.items())
+                values.push_back(scalarToString(item, key));
+        } else {
+            values.push_back(scalarToString(value, key));
+        }
+        spec.set(key, std::move(values));
+    }
+    return spec;
+}
+
+JsonValue
+SweepSpec::toJson() const
+{
+    JsonValue doc = JsonValue::object();
+    for (const auto &axis : axes) {
+        JsonValue values = JsonValue::array();
+        for (const auto &v : axis.values)
+            values.push(v);
+        doc.set(axis.key, std::move(values));
+    }
+    return doc;
+}
+
+SweepSpec
+specFromOptions(const DriverOptions &opts, const JsonValue *spec_doc)
+{
+    SweepSpec spec;
+    if (spec_doc) {
+        spec = SweepSpec::fromJson(*spec_doc, opts);
+    } else {
+        spec.base = opts;
+    }
+    for (const auto &[key, csv] : opts.sweep_axes) {
+        std::vector<std::string> values;
+        std::istringstream in(csv);
+        std::string item;
+        while (std::getline(in, item, ','))
+            values.push_back(item);
+        spec.set(key, std::move(values));
+    }
+    return spec;
+}
+
+std::vector<DriverOptions>
+expandSweep(const SweepSpec &spec)
+{
+    for (const auto &axis : spec.axes) {
+        axisRank(axis.key);
+        if (axis.values.empty())
+            throw std::invalid_argument("sweep axis '" + axis.key +
+                                        "' has no values");
+    }
+
+    std::vector<DriverOptions> points;
+    std::set<std::string> seen;
+    std::vector<std::size_t> cursor(spec.axes.size(), 0);
+    while (true) {
+        DriverOptions point = spec.base;
+        for (std::size_t i = 0; i < spec.axes.size(); ++i) {
+            const SweepAxis &axis = spec.axes[i];
+            std::string err = applyOption(point, axis.key,
+                                          axis.values[cursor[i]]);
+            if (!err.empty())
+                throw std::invalid_argument("sweep axis '" + axis.key +
+                                            "': " + err);
+        }
+        if (seen.insert(pointIdentity(point)).second)
+            points.push_back(std::move(point));
+
+        // Odometer increment, last axis fastest.
+        std::size_t i = spec.axes.size();
+        while (i > 0) {
+            --i;
+            if (++cursor[i] < spec.axes[i].values.size())
+                break;
+            cursor[i] = 0;
+            if (i == 0)
+                return points;
+        }
+        if (spec.axes.empty())
+            return points;
+    }
+}
+
+int
+resolveJobs(int jobs)
+{
+    if (jobs > 0)
+        return jobs;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::vector<SweepPointResult>
+runSweep(const std::vector<DriverOptions> &points, int jobs,
+         const SweepProgress &progress)
+{
+    std::vector<SweepPointResult> results(points.size());
+    if (points.empty())
+        return results;
+
+    std::size_t workers = static_cast<std::size_t>(resolveJobs(jobs));
+    workers = std::min(workers, points.size());
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex progress_mutex;
+
+    auto work = [&]() {
+        while (true) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= points.size())
+                return;
+            SweepPointResult &r = results[i];
+            r.options = points[i];
+            try {
+                r.result = runDriver(points[i]);
+                r.ok = true;
+            } catch (const std::exception &e) {
+                r.error = e.what();
+            }
+            std::size_t finished = done.fetch_add(1) + 1;
+            if (progress) {
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                progress(finished, points.size(), r);
+            }
+        }
+    };
+
+    if (workers == 1) {
+        work(); // Keep single-job sweeps debuggable: no threads at all.
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t t = 0; t < workers; ++t)
+            pool.emplace_back(work);
+        for (auto &t : pool)
+            t.join();
+    }
+    return results;
+}
+
+namespace {
+
+/** Identity of a failed point, for the report's error entries. */
+JsonValue
+pointToJson(const DriverOptions &o)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("app", canonicalApp(o.app).value_or(o.app));
+    doc.set("dataset", o.dataset);
+    doc.set("config", configPointName(o.config));
+    doc.set("memtech", sim::memTechName(o.memtech));
+    doc.set("scale", o.scale);
+    doc.set("tiles", o.tiles);
+    doc.set("iterations", o.iterations);
+    return doc;
+}
+
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string quoted = "\"";
+    for (char c : s) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+std::string
+csvNumber(double v)
+{
+    return JsonValue(v).dump();
+}
+
+} // namespace
+
+JsonValue
+sweepReportToJson(const SweepSpec &spec,
+                  const std::vector<SweepPointResult> &results)
+{
+    std::size_t failed = 0;
+    for (const auto &r : results)
+        failed += r.ok ? 0 : 1;
+
+    JsonValue meta = JsonValue::object();
+    meta.set("points", static_cast<std::int64_t>(results.size()));
+    meta.set("failed", static_cast<std::int64_t>(failed));
+    meta.set("axes", spec.toJson());
+
+    JsonValue items = JsonValue::array();
+    for (const auto &r : results) {
+        if (r.ok) {
+            items.push(statsToJson(r.result));
+        } else {
+            JsonValue entry = JsonValue::object();
+            entry.set("point", pointToJson(r.options));
+            entry.set("error", r.error);
+            items.push(std::move(entry));
+        }
+    }
+
+    JsonValue doc = JsonValue::object();
+    doc.set("sweep", std::move(meta));
+    doc.set("results", std::move(items));
+    return doc;
+}
+
+std::string
+sweepReportToCsv(const std::vector<SweepPointResult> &results)
+{
+    std::ostringstream out;
+    out << "app,dataset,scale,rows,cols,nnz,config,memtech,ordering,"
+           "merge,hash,allocator,queue_depth,bandwidth_gbps,"
+           "compression,spmu_ideal,tiles,iterations,cycles,runtime_ms,"
+           "occupancy,dram_bytes,dram_row_hit_rate,"
+           "spmu_bank_utilization,error\n";
+    for (const auto &r : results) {
+        if (!r.ok) {
+            const DriverOptions &o = r.options;
+            out << csvField(canonicalApp(o.app).value_or(o.app)) << ','
+                << csvField(o.dataset) << ',' << csvNumber(o.scale)
+                << ",,,," << configPointName(o.config) << ','
+                << sim::memTechName(o.memtech) << ",,,,,,,,,"
+                << o.tiles << ',' << o.iterations << ",,,,,,,"
+                << csvField(r.error) << '\n';
+            continue;
+        }
+        const RunResult &res = r.result;
+        const lang::RunTotals &t = res.timing.totals;
+        double counted =
+            t.active_lane_cycles + t.vector_idle_lane_cycles;
+        double bandwidth =
+            res.config.dram.bandwidth_override_gbps > 0
+                ? res.config.dram.bandwidth_override_gbps
+                : sim::memTechBandwidth(res.config.dram.tech);
+        out << csvField(res.app) << ',' << csvField(res.dataset) << ','
+            << csvNumber(res.scale) << ','
+            << res.info.rows << ',' << res.info.cols << ','
+            << res.info.nnz << ',' << res.config_name << ','
+            << sim::memTechName(res.config.dram.tech) << ','
+            << csvField(sim::orderingName(res.config.spmu.ordering))
+            << ','
+            << csvField(sim::mergeModeName(res.config.shuffle.mode))
+            << ',' << sim::bankHashName(res.config.spmu.hash) << ','
+            << sim::allocatorKindName(res.config.spmu.allocator) << ','
+            << res.config.spmu.queue_depth << ','
+            << csvNumber(bandwidth) << ','
+            << (res.config.dram.compression ? "true" : "false") << ','
+            << (res.config.spmu.ideal ? "true" : "false") << ','
+            << res.tiles << ',' << res.iterations << ','
+            << res.timing.cycles << ','
+            << csvNumber(res.timing.runtime_ms) << ','
+            << csvNumber(counted > 0 ? t.active_lane_cycles / counted
+                                     : 0.0)
+            << ',' << res.timing.dram.bytes << ','
+            << csvNumber(res.timing.dram.rowHitRate()) << ','
+            << csvNumber(res.timing.spmu.bankUtilization(
+                   res.config.spmu.banks))
+            << ",\n";
+    }
+    return out.str();
+}
+
+} // namespace capstan::driver

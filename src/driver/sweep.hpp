@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The parallel sweep engine behind `capstan-run --sweep` and the bench
+ * harness.
+ *
+ * Every result in the paper is a sweep: Figure 5 sweeps DRAM bandwidth
+ * per application, Table 9 sweeps SpMU allocator strength, Table 12
+ * crosses apps x datasets x machines. A SweepSpec declares such a study
+ * as a base point (ordinary DriverOptions) plus axes — named option
+ * keys with value lists — whose cartesian product expands into a
+ * deterministic, deduplicated work list. runSweep() executes the list
+ * on a thread pool (the per-process dataset cache is generate-once and
+ * thread-safe, so concurrent points share workloads), and the report
+ * layer aggregates per-point results into one JSON document (plus
+ * optional CSV) whose ordering is the expansion order, independent of
+ * completion order — reports are byte-identical across runs and thread
+ * counts.
+ *
+ * Axis keys are exactly the driver's option keys (options.hpp:
+ * optionKeys()), so a sweep can vary precisely what a single run can
+ * set. Specs come from a JSON file (`--sweep spec.json`), from repeated
+ * `--axis key=v1,v2` flags, or are built programmatically by the bench
+ * binaries (fig5_sensitivity, table9_spmu_sensitivity).
+ */
+
+#ifndef CAPSTAN_DRIVER_SWEEP_HPP
+#define CAPSTAN_DRIVER_SWEEP_HPP
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "driver/json.hpp"
+#include "driver/options.hpp"
+#include "driver/runner.hpp"
+
+namespace capstan::driver {
+
+/** One swept dimension: an option key and the values it takes. */
+struct SweepAxis
+{
+    std::string key;                 //!< One of optionKeys().
+    std::vector<std::string> values; //!< Applied via applyOption().
+};
+
+/** A declarative parameter study: a base point plus swept axes. */
+struct SweepSpec
+{
+    /** Un-swept knobs; every expanded point starts from this. */
+    DriverOptions base;
+
+    /**
+     * Swept dimensions in canonical option-key order (the expansion
+     * nests left-to-right, first axis outermost). set() keeps this
+     * invariant, so expansion order never depends on flag order or
+     * JSON key order.
+     */
+    std::vector<SweepAxis> axes;
+
+    /** Replace (or insert, in canonical order) one axis. */
+    void set(const std::string &key, std::vector<std::string> values);
+
+    /**
+     * Build a spec from a parsed JSON document. Each member maps an
+     * option key to a scalar or an array of values; numbers and bools
+     * are accepted and canonicalized to strings. Unknown keys and
+     * invalid values throw std::invalid_argument.
+     *
+     * Example: {"app": ["spmv", "bfs"], "bandwidth-gbps": [20, 2000],
+     *           "tiles": 4}
+     */
+    static SweepSpec fromJson(const JsonValue &doc,
+                              const DriverOptions &base);
+
+    /** The axes as a JSON object; fromJson(toJson()) round-trips. */
+    JsonValue toJson() const;
+};
+
+/**
+ * Build the spec a parsed command line describes: the JSON file from
+ * --sweep (if any) with --axis overrides applied on top. Throws
+ * std::invalid_argument on malformed axes; the caller reads and parses
+ * the spec file (so tests need no filesystem).
+ */
+SweepSpec specFromOptions(const DriverOptions &opts,
+                          const JsonValue *spec_doc);
+
+/**
+ * Expand a spec's cartesian product into concrete run options, in
+ * deterministic nesting order, with exact-duplicate points removed
+ * (first occurrence wins). Invalid axis keys/values throw
+ * std::invalid_argument.
+ */
+std::vector<DriverOptions> expandSweep(const SweepSpec &spec);
+
+/** The outcome of one sweep point. */
+struct SweepPointResult
+{
+    DriverOptions options;  //!< The point that ran.
+    bool ok = false;
+    RunResult result;       //!< Valid when ok.
+    std::string error;      //!< what() of the failure when !ok.
+};
+
+/** Called after each point completes; @p done counts finished points. */
+using SweepProgress = std::function<void(
+    std::size_t done, std::size_t total, const SweepPointResult &)>;
+
+/**
+ * Execute @p points on @p jobs worker threads (0 = all cores). Results
+ * are indexed exactly like @p points regardless of completion order.
+ * Per-point failures are captured, not thrown, so one bad point cannot
+ * sink a long sweep. @p progress (optional) is serialized by a mutex.
+ */
+std::vector<SweepPointResult>
+runSweep(const std::vector<DriverOptions> &points, int jobs = 0,
+         const SweepProgress &progress = {});
+
+/** Worker-thread count a jobs value resolves to (0 = all cores). */
+int resolveJobs(int jobs);
+
+/**
+ * Aggregate a sweep into one JSON report:
+ * {"sweep": {"points": N, "failed": M, "axes": {...}},
+ *  "results": [per-point stats schema, or {"point", "error"}]}.
+ * Deliberately excludes wall-clock and thread count so reports are
+ * byte-identical across runs (docs/OUTPUT_SCHEMA.md).
+ */
+JsonValue sweepReportToJson(const SweepSpec &spec,
+                            const std::vector<SweepPointResult> &results);
+
+/** Flat CSV (one row per point) for spreadsheet-side analysis. */
+std::string
+sweepReportToCsv(const std::vector<SweepPointResult> &results);
+
+} // namespace capstan::driver
+
+#endif // CAPSTAN_DRIVER_SWEEP_HPP

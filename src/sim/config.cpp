@@ -51,6 +51,30 @@ orderingName(Ordering mode)
 }
 
 std::string
+bankHashName(BankHash hash)
+{
+    switch (hash) {
+      case BankHash::Linear:
+        return "Linear";
+      case BankHash::Xor:
+      default:
+        return "Xor";
+    }
+}
+
+std::string
+allocatorKindName(AllocatorKind kind)
+{
+    switch (kind) {
+      case AllocatorKind::Full:
+        return "Full";
+      case AllocatorKind::Weak:
+      default:
+        return "Weak";
+    }
+}
+
+std::string
 mergeModeName(MergeMode mode)
 {
     switch (mode) {

@@ -56,11 +56,15 @@ enum class BankHash {
     Xor,    //!< a[0:3] ^ a[4:7] ^ a[8:11] ^ a[12:15] nibble fold.
 };
 
+std::string bankHashName(BankHash hash);
+
 /** Allocator strength points used in Table 9. */
 enum class AllocatorKind {
     Full, //!< Multi-iteration, multi-priority separable allocator.
     Weak, //!< Single-iteration, single-priority (greedy) allocator.
 };
+
+std::string allocatorKindName(AllocatorKind kind);
 
 /** Shuffle-network merge flexibility (Table 11). */
 enum class MergeMode {

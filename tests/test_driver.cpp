@@ -110,6 +110,58 @@ TEST(DriverOptions, RejectsBadInput)
     EXPECT_FALSE(parseArgs({"--queue-depth", "1e20"}).ok());
 }
 
+TEST(DriverOptions, ParsesSweepFlags)
+{
+    ParseResult r = parseArgs({"--sweep", "spec.json",
+                               "--axis", "tiles=2,4",
+                               "--axis", "memtech=ddr4,hbm2e",
+                               "--jobs", "4",
+                               "--csv", "out.csv",
+                               "--spmu-ideal"});
+    ASSERT_TRUE(r.ok()) << r.error;
+    const DriverOptions &o = r.options;
+    EXPECT_TRUE(o.sweepRequested());
+    EXPECT_EQ(o.sweep_file, "spec.json");
+    ASSERT_EQ(o.sweep_axes.size(), 2u);
+    EXPECT_EQ(o.sweep_axes[0].first, "tiles");
+    EXPECT_EQ(o.sweep_axes[0].second, "2,4");
+    EXPECT_EQ(o.jobs, 4);
+    EXPECT_EQ(o.csv_output, "out.csv");
+    ASSERT_TRUE(o.spmu_ideal.has_value());
+    EXPECT_TRUE(*o.spmu_ideal);
+    // Sweeps defer dataset defaults to per-point expansion.
+    EXPECT_TRUE(o.dataset.empty());
+
+    EXPECT_FALSE(parseArgs({}).options.sweepRequested());
+    EXPECT_FALSE(parseArgs({"--axis", "tiles"}).ok());
+    EXPECT_FALSE(parseArgs({"--axis", "=2,4"}).ok());
+    EXPECT_FALSE(parseArgs({"--jobs", "-1"}).ok());
+    EXPECT_FALSE(parseArgs({"--sweep"}).ok());
+}
+
+TEST(DriverOptions, ApplyOptionIsTheSingleValidationPath)
+{
+    DriverOptions o;
+    EXPECT_EQ(applyOption(o, "memtech", "ddr4"), "");
+    EXPECT_EQ(o.memtech, sim::MemTech::DDR4);
+    EXPECT_EQ(applyOption(o, "spmu-ideal", "true"), "");
+    ASSERT_TRUE(o.spmu_ideal.has_value());
+    EXPECT_TRUE(*o.spmu_ideal);
+    EXPECT_EQ(applyOption(o, "compression", "on"), "");
+    EXPECT_TRUE(o.compression);
+    EXPECT_FALSE(applyOption(o, "memtech", "hbm9").empty());
+    EXPECT_FALSE(applyOption(o, "frobnicate", "1").empty());
+    EXPECT_FALSE(applyOption(o, "tiles", "0").empty());
+    // Every advertised key is dispatched (none falls through to the
+    // unknown-option branch).
+    for (const auto &key : optionKeys()) {
+        DriverOptions fresh;
+        std::string err = applyOption(fresh, key, "???");
+        EXPECT_EQ(err.find("unknown option"), std::string::npos)
+            << key << ": " << err;
+    }
+}
+
 TEST(DriverOptions, HelpAndListShortCircuit)
 {
     EXPECT_TRUE(parseArgs({"--help"}).show_help);
