@@ -1,44 +1,18 @@
 #include "bench_util.hpp"
 
-#include <cmath>
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <fstream>
 #include <iostream>
-#include <stdexcept>
 
-#include "workloads/datasets.hpp"
+#include "report/reference.hpp"
+#include "report/render.hpp"
+#include "report/study.hpp"
 
 namespace capstan::bench {
-
-using namespace capstan::workloads;
-
-const std::vector<std::string> &
-allApps()
-{
-    static const std::vector<std::string> apps = {
-        "CSR", "COO", "CSC", "Conv", "PR-Pull", "PR-Edge",
-        "BFS", "SSSP", "M+M", "SpMSpM", "BiCGStab"};
-    return apps;
-}
-
-std::vector<std::string>
-datasetsFor(const std::string &app)
-{
-    if (app == "CSR" || app == "COO" || app == "CSC" || app == "M+M" ||
-        app == "BiCGStab") {
-        return linearAlgebraDatasetNames();
-    }
-    if (app == "PR-Pull" || app == "PR-Edge" || app == "BFS" ||
-        app == "SSSP") {
-        return graphDatasetNames();
-    }
-    if (app == "SpMSpM")
-        return spmspmDatasetNames();
-    if (app == "Conv")
-        return convDatasetNames();
-    throw std::invalid_argument("unknown app: " + app);
-}
 
 CapstanConfig
 weakScaled(CapstanConfig cfg, int tiles)
@@ -53,12 +27,6 @@ weakScaled(CapstanConfig cfg, int tiles)
                       : sim::memTechBandwidth(cfg.dram.tech);
     cfg.dram.bandwidth_override_gbps = base * fraction;
     return cfg;
-}
-
-double
-seconds(const AppTiming &t)
-{
-    return t.runtime_ms / 1000.0;
 }
 
 RunOptions
@@ -98,19 +66,6 @@ parseJobs(int argc, char **argv)
     return 0; // All cores.
 }
 
-driver::DriverOptions
-sweepBase(const std::string &app, const std::string &dataset,
-          const RunOptions &opts)
-{
-    driver::DriverOptions base;
-    base.app = app;
-    base.dataset = dataset;
-    base.scale = opts.scale_mult;
-    base.tiles = opts.tiles;
-    base.iterations = opts.iterations;
-    return base;
-}
-
 driver::SweepProgress
 benchProgress()
 {
@@ -126,82 +81,50 @@ benchProgress()
     };
 }
 
-void
-requireAllOk(const std::vector<driver::SweepPointResult> &results)
+int
+benchMain(const std::string &study_name, int argc, char **argv)
 {
-    bool failed = false;
-    for (const auto &r : results) {
-        if (!r.ok) {
-            std::fprintf(stderr, "sweep point failed: %s\n",
-                         r.error.c_str());
-            failed = true;
-        }
+    const report::Study *study = report::findStudy(study_name);
+    if (!study) {
+        std::fprintf(stderr, "unknown study '%s'\n",
+                     study_name.c_str());
+        return 2;
     }
-    if (failed)
-        std::exit(1);
-}
 
-double
-gmean(const std::vector<double> &values)
-{
-    double log_sum = 0;
-    int n = 0;
-    for (double v : values) {
-        if (v > 0) {
-            log_sum += std::log(v);
-            ++n;
+    report::StudyContext ctx;
+    ctx.knobs = parseArgs(argc, argv);
+    ctx.jobs = parseJobs(argc, argv);
+    ctx.progress = benchProgress();
+
+    // Best-effort "ours / paper" cells: the reference lives at the
+    // repo root; bench binaries usually run from there or from build/.
+    report::Reference reference;
+    for (const char *path : {"data/paper_reference.json",
+                             "../data/paper_reference.json"}) {
+        std::ifstream probe(path);
+        if (!probe)
+            continue;
+        try {
+            reference = report::Reference::fromFile(path);
+            ctx.reference = &reference;
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "warning: ignoring %s: %s\n", path,
+                         e.what());
         }
+        break;
     }
-    return n == 0 ? 0.0 : std::exp(log_sum / n);
-}
 
-TablePrinter::TablePrinter(std::vector<std::string> headers)
-    : headers_(std::move(headers))
-{
-}
-
-void
-TablePrinter::addRow(const std::vector<std::string> &cells)
-{
-    rows_.push_back(cells);
-}
-
-void
-TablePrinter::print() const
-{
-    std::vector<std::size_t> width(headers_.size());
-    for (std::size_t c = 0; c < headers_.size(); ++c)
-        width[c] = headers_[c].size();
-    for (const auto &row : rows_) {
-        for (std::size_t c = 0; c < row.size() && c < width.size(); ++c)
-            width[c] = std::max(width[c], row[c].size());
+    std::printf("%s: %s\n\n", study->artifact.c_str(),
+                study->title.c_str());
+    try {
+        report::StudyResult result = study->run(ctx);
+        std::cout << report::renderText(result);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s failed: %s\n", study_name.c_str(),
+                     e.what());
+        return 1;
     }
-    auto printRow = [&](const std::vector<std::string> &row) {
-        for (std::size_t c = 0; c < width.size(); ++c) {
-            std::string cell = c < row.size() ? row[c] : "";
-            std::cout << (c == 0 ? "" : "  ");
-            std::cout << cell
-                      << std::string(width[c] - cell.size(), ' ');
-        }
-        std::cout << "\n";
-    };
-    printRow(headers_);
-    std::size_t total = 0;
-    for (std::size_t c = 0; c < width.size(); ++c)
-        total += width[c] + (c == 0 ? 0 : 2);
-    std::cout << std::string(total, '-') << "\n";
-    for (const auto &row : rows_)
-        printRow(row);
-}
-
-std::string
-TablePrinter::num(std::optional<double> v, int precision)
-{
-    if (!v.has_value())
-        return "-";
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.*f", precision, *v);
-    return buf;
+    return 0;
 }
 
 } // namespace capstan::bench

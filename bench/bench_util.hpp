@@ -1,28 +1,25 @@
 /**
  * @file
- * Shared infrastructure for the benchmark harness: a uniform runner over
- * (application, dataset, configuration) triples, a dataset cache, and a
- * plain-text table printer. One binary per paper table/figure links this
- * library (see DESIGN.md #2 for the experiment index).
- *
- * Every binary accepts an optional `--scale <f>` argument multiplying
- * the default dataset scales (1.0 reproduces Table 6's published sizes;
- * the defaults keep the full harness within laptop wall-times and are
- * recorded in EXPERIMENTS.md).
+ * Thin compatibility layer for the benchmark harness. Since the study
+ * registry moved the table/figure logic into `src/report/`
+ * (report/study.hpp), each bench binary is a shim: it parses the
+ * historical `--scale` / `--tiles` / `--iterations` / `--jobs` flags
+ * and runs its registered study via benchMain(), printing the same
+ * plain-text tables as before. `capstan-report` renders the identical
+ * studies to Markdown/CSV/JSON and checks them against the paper
+ * (docs/REPRODUCTION.md).
  */
 
 #ifndef CAPSTAN_BENCH_UTIL_HPP
 #define CAPSTAN_BENCH_UTIL_HPP
 
-#include <functional>
-#include <map>
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "apps/common.hpp"
 #include "driver/runner.hpp"
 #include "driver/sweep.hpp"
+#include "report/catalog.hpp"
 #include "sim/config.hpp"
 
 namespace capstan::bench {
@@ -31,15 +28,21 @@ using apps::AppTiming;
 using sim::CapstanConfig;
 
 /** The eleven application columns, in Table 12 order. */
-const std::vector<std::string> &allApps();
+using report::allApps;
 
 /** Table 6 datasets evaluated for @p app (paper order). */
-std::vector<std::string> datasetsFor(const std::string &app);
+using report::datasetsFor;
+
+/** Geometric mean of positive values (non-positive entries skipped). */
+using report::gmean;
+
+/** Seconds for a timing at the configuration's clock. */
+using report::seconds;
 
 /**
- * Default generation scale for a dataset in bench runs (relative to the
- * published size; multiplied by the CLI --scale factor). Forwarded from
- * the driver's dispatch table (src/driver/runner.hpp).
+ * Default generation scale for a dataset in bench runs (relative to
+ * the published size; multiplied by the CLI --scale factor). Forwarded
+ * from the driver's dispatch table (src/driver/runner.hpp).
  */
 using driver::defaultScale;
 
@@ -47,24 +50,21 @@ using driver::defaultScale;
 using RunOptions = driver::RunKnobs;
 
 /**
- * Weak-scale the DRAM system to the simulated chip slice: a run with
- * @p tiles tiles models tiles/200 of the full 200-unit chip, receiving
- * the same fraction of the configured memory bandwidth. Not applied by
- * default (the bench runs use the full memory system, documented in
- * EXPERIMENTS.md); available for scaling experiments.
- */
-CapstanConfig weakScaled(CapstanConfig cfg, int tiles);
-
-/**
  * Run @p app on @p dataset under @p cfg; returns its timing. Datasets
  * are generated once per (name, scale) and cached across calls. This
  * is the driver's dispatch (src/driver/runner.hpp), shared so the
- * bench harness and `capstan-run` measure exactly the same runs.
+ * bench harness, the study registry, and `capstan-run` measure exactly
+ * the same runs.
  */
 using driver::runApp;
 
-/** Seconds for a timing at the configuration's clock. */
-double seconds(const AppTiming &t);
+/**
+ * Weak-scale the DRAM system to the simulated chip slice: a run with
+ * @p tiles tiles models tiles/200 of the full 200-unit chip, receiving
+ * the same fraction of the configured memory bandwidth. Not applied by
+ * default; available for scaling experiments.
+ */
+CapstanConfig weakScaled(CapstanConfig cfg, int tiles);
 
 /** Parse `--scale <f>` (and `--tiles <n>`) from argv. */
 RunOptions parseArgs(int argc, char **argv);
@@ -72,46 +72,17 @@ RunOptions parseArgs(int argc, char **argv);
 /** Parse `--jobs <n>` (sweep worker threads; 0 = all cores). */
 int parseJobs(int argc, char **argv);
 
-/**
- * The driver base point a bench sweep varies around: @p app on
- * @p dataset (empty = the app's default) under the harness knobs.
- * Sweep-driven benches (fig5_sensitivity, table9_spmu_sensitivity)
- * build SweepSpecs from this, expand them with driver::expandSweep,
- * and execute the concatenated points with driver::runSweep — the
- * same parallel path as `capstan-run --sweep`.
- */
-driver::DriverOptions sweepBase(const std::string &app,
-                                const std::string &dataset,
-                                const RunOptions &opts);
-
 /** Progress printer ("  [3/77] CSR / ckt11752_dc_1") for stderr. */
 driver::SweepProgress benchProgress();
 
 /**
- * Abort the bench (exit 1) if any sweep point failed, so a broken run
- * can never print inf/nan cells and still exit 0 under bench_smoke.
+ * The body of every bench shim: run the registered study named
+ * @p study under the parsed CLI knobs (searching
+ * data/paper_reference.json, then ../data/paper_reference.json, for
+ * the "ours / paper" display values) and print its tables as text.
+ * Returns the process exit code.
  */
-void requireAllOk(const std::vector<driver::SweepPointResult> &results);
-
-/** Geometric mean of positive values (non-positive entries skipped). */
-double gmean(const std::vector<double> &values);
-
-/** Minimal fixed-width table printer. */
-class TablePrinter
-{
-  public:
-    explicit TablePrinter(std::vector<std::string> headers);
-
-    void addRow(const std::vector<std::string> &cells);
-    void print() const;
-
-    /** Format helper: fixed-precision double, or "-" when absent. */
-    static std::string num(std::optional<double> v, int precision = 2);
-
-  private:
-    std::vector<std::string> headers_;
-    std::vector<std::vector<std::string>> rows_;
-};
+int benchMain(const std::string &study, int argc, char **argv);
 
 } // namespace capstan::bench
 

@@ -1,128 +1,17 @@
 /**
  * @file
- * Figure 4: a traced request vector in a stream of random requests,
- * showing which bank each lane is granted in every cycle under the four
- * ordering modes, plus steady-state utilization. Grants belonging to
- * the traced vector are bracketed (the paper bolds them); other grants
- * come from neighbouring vectors that the scheduled pipeline interleaves.
+ * Figure 4 shim: the logic lives in the registered `fig4` study
+ * (src/report/studies_components.cpp); this binary runs it under the
+ * historical bench CLI (--scale / --tiles / --iterations / --jobs)
+ * and prints the same plain-text tables. `capstan-report --study
+ * fig4` renders the identical study to Markdown/CSV/JSON and
+ * checks it against data/paper_reference.json.
  */
 
-#include <cstdio>
-#include <random>
-#include <string>
-#include <vector>
-
 #include "bench_util.hpp"
-#include "sim/spmu.hpp"
-
-using namespace capstan::bench;
-namespace sim = capstan::sim;
-
-namespace {
-
-struct TraceResult
-{
-    double utilization;
-    // Per cycle, per lane: granted bank or -1; traced flag.
-    std::vector<std::array<int, 16>> banks;
-    std::vector<std::array<bool, 16>> traced;
-};
-
-TraceResult
-traceMode(sim::Ordering mode, std::uint32_t seed)
-{
-    sim::SpmuConfig cfg;
-    cfg.ordering = mode;
-    sim::SparseMemoryUnit spmu(cfg);
-    spmu.enableGrantTrace(true);
-
-    std::mt19937 rng(seed);
-    constexpr std::uint64_t kTracedId = 40;
-    const int total = 400;
-    int injected = 0;
-    while (injected < total || !spmu.empty()) {
-        if (injected < total) {
-            sim::AccessVector av;
-            av.id = injected;
-            for (int l = 0; l < 16; ++l) {
-                av.lane[l].valid = true;
-                av.lane[l].addr = rng();
-                av.lane[l].op = sim::AccessOp::Read;
-            }
-            if (spmu.tryEnqueue(av))
-                ++injected;
-        }
-        spmu.step();
-        while (spmu.tryDequeue()) {
-        }
-    }
-
-    TraceResult res;
-    res.utilization = 100.0 * spmu.stats().bankUtilization(cfg.banks);
-    // Find the cycle range touching the traced vector.
-    sim::Cycle first = ~0ull, last = 0;
-    for (const auto &g : spmu.grantTrace()) {
-        if (g.vector_id == kTracedId) {
-            first = std::min(first, g.cycle);
-            last = std::max(last, g.cycle);
-        }
-    }
-    if (first == ~0ull)
-        return res;
-    for (const auto &g : spmu.grantTrace()) {
-        if (g.cycle < first || g.cycle > last)
-            continue;
-        std::size_t row = g.cycle - first;
-        while (res.banks.size() <= row) {
-            res.banks.push_back({});
-            res.banks.back().fill(-1);
-            res.traced.push_back({});
-            res.traced.back().fill(false);
-        }
-        res.banks[row][g.lane] = g.bank;
-        res.traced[row][g.lane] = g.vector_id == kTracedId;
-    }
-    return res;
-}
-
-void
-printTrace(const std::string &name, const TraceResult &res,
-           double paper_util)
-{
-    std::printf("%s  (util: %.1f%%, paper: %.1f%%)\n", name.c_str(),
-                res.utilization, paper_util);
-    std::printf("  Cyc | lanes 0-15 (granted bank; [n] = traced "
-                "vector)\n");
-    for (std::size_t c = 0; c < res.banks.size() && c < 16; ++c) {
-        std::printf("  %3zu |", c);
-        for (int l = 0; l < 16; ++l) {
-            int b = res.banks[c][l];
-            if (b < 0)
-                std::printf("     ");
-            else if (res.traced[c][l])
-                std::printf(" [%2d]", b);
-            else
-                std::printf("  %2d ", b);
-        }
-        std::printf("\n");
-    }
-    std::printf("\n");
-}
-
-} // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("Figure 4: traced request vector under each ordering "
-                "mode\n\n");
-    printTrace("Unordered", traceMode(sim::Ordering::Unordered, 7),
-               79.9);
-    printTrace("Address Ordered",
-               traceMode(sim::Ordering::AddressOrdered, 7), 34.2);
-    printTrace("Fully Ordered",
-               traceMode(sim::Ordering::FullyOrdered, 7), 25.5);
-    printTrace("Arbitrated", traceMode(sim::Ordering::Arbitrated, 7),
-               32.4);
-    return 0;
+    return capstan::bench::benchMain("fig4", argc, argv);
 }

@@ -1,211 +1,17 @@
 /**
  * @file
- * Figure 5: system-level sensitivity studies.
- *   (a) Speedup vs. DRAM bandwidth, 20-2000 GB/s, per application.
- *   (b) Speedup vs. weighted on-chip area as outer-parallelism scales.
- *   (c) Speedup from read-only DRAM compression vs. bandwidth.
- * As in the paper, p2p-Gnutella31 substitutes for flickr and the first
- * dataset of each family represents its applications. Series are
- * normalized to their slowest point so the curves read as speedups.
- *
- * Each subfigure declares its study as per-app SweepSpecs, expands
- * them through the driver's sweep engine, and executes all points on
- * one thread pool (`--jobs N`, default all cores) — the same parallel
- * path as `capstan-run --sweep`.
+ * Figure 5 shim: the logic lives in the registered `fig5` study
+ * (src/report/studies_perf.cpp); this binary runs it under the
+ * historical bench CLI (--scale / --tiles / --iterations / --jobs)
+ * and prints the same plain-text tables. `capstan-report --study
+ * fig5` renders the identical study to Markdown/CSV/JSON and
+ * checks it against data/paper_reference.json.
  */
-
-#include <cstdio>
-#include <cstring>
-#include <string>
-#include <vector>
 
 #include "bench_util.hpp"
-#include "sim/area.hpp"
-
-using namespace capstan::bench;
-namespace driver = capstan::driver;
-namespace sim = capstan::sim;
-
-namespace {
-
-std::string
-sensitivityDataset(const std::string &app)
-{
-    // Graph apps use the Gnutella substitute (Section 4); everything
-    // else uses the first dataset of its family.
-    std::string ds = datasetsFor(app)[0];
-    if (ds == "usroads-48")
-        return "p2p-Gnutella31";
-    return ds;
-}
-
-std::vector<std::string>
-toStrings(const std::vector<double> &values)
-{
-    std::vector<std::string> out;
-    for (double v : values)
-        out.push_back(driver::JsonValue(v).dump());
-    return out;
-}
-
-std::vector<std::string>
-toStrings(const std::vector<int> &values)
-{
-    std::vector<std::string> out;
-    for (int v : values)
-        out.push_back(std::to_string(v));
-    return out;
-}
-
-/**
- * Expand one axis per app and run every app's points in one parallel
- * sweep. Returns results grouped app-major: result index
- * app_i * axis_values + value_j (expansion order is deterministic, so
- * the mapping is exact).
- */
-std::vector<driver::SweepPointResult>
-runAppAxisSweep(const RunOptions &opts, const std::string &axis,
-                const std::vector<std::string> &values, int jobs)
-{
-    std::vector<driver::DriverOptions> points;
-    for (const auto &app : allApps()) {
-        driver::SweepSpec spec;
-        spec.base = sweepBase(app, sensitivityDataset(app), opts);
-        spec.set(axis, values);
-        std::vector<driver::DriverOptions> expanded =
-            driver::expandSweep(spec);
-        points.insert(points.end(), expanded.begin(), expanded.end());
-    }
-    auto results = driver::runSweep(points, jobs, benchProgress());
-    requireAllOk(results);
-    return results;
-}
-
-double
-pointSeconds(const driver::SweepPointResult &r)
-{
-    return seconds(r.result.timing); // requireAllOk ran: r.ok holds.
-}
-
-void
-figure5a(const RunOptions &opts, int jobs)
-{
-    std::printf("Figure 5a: speedup vs DRAM bandwidth (normalized to "
-                "20 GB/s)\n\n");
-    const std::vector<double> bandwidths = {20,  50,  100, 200,
-                                            500, 1000, 2000};
-    auto results = runAppAxisSweep(opts, "bandwidth-gbps",
-                                   toStrings(bandwidths), jobs);
-
-    std::vector<std::string> headers = {"App"};
-    for (double bw : bandwidths)
-        headers.push_back(TablePrinter::num(bw, 0) + "GB/s");
-    TablePrinter table(headers);
-    std::size_t i = 0;
-    for (const auto &app : allApps()) {
-        double base = pointSeconds(results[i]);
-        std::vector<std::string> row = {app};
-        for (std::size_t j = 0; j < bandwidths.size(); ++j, ++i)
-            row.push_back(
-                TablePrinter::num(base / pointSeconds(results[i]), 2));
-        table.addRow(row);
-    }
-    table.print();
-    std::printf("\nMemory-bound apps (SpMV, PR) keep scaling past "
-                "900 GB/s; BFS/SSSP saturate earlier (paper: ~500 "
-                "GB/s).\n\n");
-}
-
-void
-figure5b(const RunOptions &opts, int jobs)
-{
-    std::printf("Figure 5b: speedup vs weighted on-chip area "
-                "(outer-parallelization sweep)\n\n");
-    const std::vector<int> tile_counts = {2, 4, 8, 16, 32};
-    auto results =
-        runAppAxisSweep(opts, "tiles", toStrings(tile_counts), jobs);
-
-    sim::CapstanConfig cfg =
-        sim::CapstanConfig::capstan(sim::MemTech::HBM2E);
-    std::vector<std::string> headers = {"App"};
-    for (int t : tile_counts) {
-        double pct = 100.0 * sim::weightedAreaFraction(t, t, cfg);
-        headers.push_back(TablePrinter::num(pct, 1) + "%");
-    }
-    TablePrinter table(headers);
-    std::size_t i = 0;
-    for (const auto &app : allApps()) {
-        double base = pointSeconds(results[i]);
-        std::vector<std::string> row = {app};
-        for (std::size_t j = 0; j < tile_counts.size(); ++j, ++i)
-            row.push_back(
-                TablePrinter::num(base / pointSeconds(results[i]), 2));
-        table.addRow(row);
-    }
-    table.print();
-    std::printf("\nNear-linear scaling while bandwidth lasts implies "
-                "Capstan could grow to larger dice (paper Fig. 5b).\n\n");
-}
-
-void
-figure5c(const RunOptions &opts, int jobs)
-{
-    std::printf("Figure 5c: speedup from pointer compression vs "
-                "bandwidth\n\n");
-    const std::vector<double> bandwidths = {20, 50, 100, 200, 500};
-
-    // Two axes per app: bandwidth (outer) x compression (inner), so
-    // each bandwidth's plain/compressed pair is adjacent.
-    std::vector<driver::DriverOptions> points;
-    for (const auto &app : allApps()) {
-        driver::SweepSpec spec;
-        spec.base = sweepBase(app, sensitivityDataset(app), opts);
-        spec.set("bandwidth-gbps", toStrings(bandwidths));
-        spec.set("compression", {"false", "true"});
-        auto expanded = driver::expandSweep(spec);
-        points.insert(points.end(), expanded.begin(), expanded.end());
-    }
-    auto results = driver::runSweep(points, jobs, benchProgress());
-    requireAllOk(results);
-
-    std::vector<std::string> headers = {"App"};
-    for (double bw : bandwidths)
-        headers.push_back(TablePrinter::num(bw, 0) + "GB/s");
-    TablePrinter table(headers);
-    std::size_t i = 0;
-    for (const auto &app : allApps()) {
-        std::vector<std::string> row = {app};
-        for (std::size_t j = 0; j < bandwidths.size(); ++j, i += 2) {
-            double plain = pointSeconds(results[i]);
-            double comp = pointSeconds(results[i + 1]);
-            row.push_back(TablePrinter::num(plain / comp, 2));
-        }
-        table.addRow(row);
-    }
-    table.print();
-    std::printf("\nPR-Edge and COO gain most: two pointers per element "
-                "with repeated source pointers (paper Fig. 5c).\n");
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    RunOptions opts = parseArgs(argc, argv);
-    int jobs = parseJobs(argc, argv);
-    bool only_a = false, only_b = false, only_c = false;
-    for (int i = 1; i < argc; ++i) {
-        only_a |= std::strcmp(argv[i], "--a") == 0;
-        only_b |= std::strcmp(argv[i], "--b") == 0;
-        only_c |= std::strcmp(argv[i], "--c") == 0;
-    }
-    bool all = !(only_a || only_b || only_c);
-    if (all || only_a)
-        figure5a(opts, jobs);
-    if (all || only_b)
-        figure5b(opts, jobs);
-    if (all || only_c)
-        figure5c(opts, jobs);
-    return 0;
+    return capstan::bench::benchMain("fig5", argc, argv);
 }

@@ -1,117 +1,17 @@
 /**
  * @file
- * Figure 6: sensitivity to scanner geometry, as slowdown relative to a
- * maximal 512-input/16-output scanner.
- *   (a) Bits scanned per cycle (bit scanner): BFS, SSSP, M+M, SpMSpM.
- *   (b) Data elements scanned per cycle (data scanner): CSC, Conv.
- *   (c) Scan output vectorization: M+M, SpMSpM.
+ * Figure 6 shim: the logic lives in the registered `fig6` study
+ * (src/report/studies_perf.cpp); this binary runs it under the
+ * historical bench CLI (--scale / --tiles / --iterations / --jobs)
+ * and prints the same plain-text tables. `capstan-report --study
+ * fig6` renders the identical study to Markdown/CSV/JSON and
+ * checks it against data/paper_reference.json.
  */
 
-#include <cstdio>
-#include <vector>
-
 #include "bench_util.hpp"
-
-using namespace capstan::bench;
-namespace sim = capstan::sim;
-using sim::CapstanConfig;
-using sim::MemTech;
-
-namespace {
-
-double
-runWithScanner(const std::string &app, int window_bits, int outputs,
-               int data_elems, const RunOptions &opts)
-{
-    CapstanConfig cfg = CapstanConfig::capstan(MemTech::HBM2E);
-    cfg.scanner.window_bits = window_bits;
-    cfg.scanner.outputs = outputs;
-    cfg.scanner.data_elements = data_elems;
-    std::string ds = datasetsFor(app)[0];
-    return seconds(runApp(app, ds, cfg, opts));
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    RunOptions opts = parseArgs(argc, argv);
-
-    std::printf("Figure 6a: slowdown vs bits scanned per cycle "
-                "(relative to 512-bit scanner)\n\n");
-    {
-        const std::vector<int> widths = {1, 4, 16, 64, 256, 512};
-        std::vector<std::string> headers = {"App"};
-        for (int w : widths)
-            headers.push_back(std::to_string(w));
-        TablePrinter table(headers);
-        for (const std::string app : {"BFS", "SSSP", "M+M", "SpMSpM"}) {
-            std::vector<double> times;
-            for (int w : widths) {
-                std::fprintf(stderr, "  6a %s @ %d bits...\n",
-                             app.c_str(), w);
-                times.push_back(runWithScanner(app, w, 16, 16, opts));
-            }
-            std::vector<std::string> row = {app};
-            for (double t : times)
-                row.push_back(TablePrinter::num(t / times.back(), 2));
-            table.addRow(row);
-        }
-        table.print();
-        std::printf("\nPaper: scalar scanning is catastrophic; even "
-                    "128 bits slows M+M by 21%%, hence the 256-bit "
-                    "design.\n\n");
-    }
-
-    std::printf("Figure 6b: slowdown vs data elements scanned per "
-                "cycle (relative to 16)\n\n");
-    {
-        const std::vector<int> elems = {1, 2, 4, 8, 16};
-        std::vector<std::string> headers = {"App"};
-        for (int e : elems)
-            headers.push_back(std::to_string(e));
-        TablePrinter table(headers);
-        for (const std::string app : {"CSC", "Conv"}) {
-            std::vector<double> times;
-            for (int e : elems) {
-                std::fprintf(stderr, "  6b %s @ %d elems...\n",
-                             app.c_str(), e);
-                times.push_back(runWithScanner(app, 256, 16, e, opts));
-            }
-            std::vector<std::string> row = {app};
-            for (double t : times)
-                row.push_back(TablePrinter::num(t / times.back(), 2));
-            table.addRow(row);
-        }
-        table.print();
-        std::printf("\nPaper: peak slowdown only ~16%% (Conv), so the "
-                    "small 16-element data scanner suffices.\n\n");
-    }
-
-    std::printf("Figure 6c: slowdown vs scan output vectorization "
-                "(relative to 16)\n\n");
-    {
-        const std::vector<int> outs = {1, 2, 4, 8, 16};
-        std::vector<std::string> headers = {"App"};
-        for (int o : outs)
-            headers.push_back(std::to_string(o));
-        TablePrinter table(headers);
-        for (const std::string app : {"M+M", "SpMSpM"}) {
-            std::vector<double> times;
-            for (int o : outs) {
-                std::fprintf(stderr, "  6c %s @ %d outputs...\n",
-                             app.c_str(), o);
-                times.push_back(runWithScanner(app, 256, o, 16, opts));
-            }
-            std::vector<std::string> row = {app};
-            for (double t : times)
-                row.push_back(TablePrinter::num(t / times.back(), 2));
-            table.addRow(row);
-        }
-        table.print();
-        std::printf("\nPaper: SpMSpM (denser datasets) needs the full "
-                    "16-wide output; M+M gains less.\n");
-    }
-    return 0;
+    return capstan::bench::benchMain("fig6", argc, argv);
 }

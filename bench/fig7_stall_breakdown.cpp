@@ -1,107 +1,17 @@
 /**
  * @file
- * Figure 7: execution-time breakdown per application and dataset.
- *
- * Synthetic classes (Active, Scan, Vector Length, Imbalance) come from
- * the token statistics of an ideal-configuration run; Load/Store is the
- * residual of that run (data-movement serialization with an otherwise
- * perfect machine). The simulated classes layer in one effect at a
- * time - the on-chip network, the allocated SRAM, and the DRAM model -
- * and take the added cycles (Section 4.4 "Stall Breakdown").
+ * Figure 7 shim: the logic lives in the registered `fig7` study
+ * (src/report/studies_perf.cpp); this binary runs it under the
+ * historical bench CLI (--scale / --tiles / --iterations / --jobs)
+ * and prints the same plain-text tables. `capstan-report --study
+ * fig7` renders the identical study to Markdown/CSV/JSON and
+ * checks it against data/paper_reference.json.
  */
 
-#include <cstdio>
-
 #include "bench_util.hpp"
-#include "sim/stats.hpp"
-
-using namespace capstan::bench;
-namespace sim = capstan::sim;
-using sim::CapstanConfig;
-using sim::MemTech;
-using sim::StallBreakdown;
-using sim::StallClass;
-
-namespace {
-
-StallBreakdown
-breakdownFor(const std::string &app, const std::string &ds,
-             const RunOptions &opts)
-{
-    // Layered configurations.
-    CapstanConfig ideal = CapstanConfig::ideal();
-    CapstanConfig with_net = CapstanConfig::ideal();
-    with_net.network_hop_latency =
-        CapstanConfig::capstan().network_hop_latency;
-    CapstanConfig with_sram = with_net;
-    with_sram.spmu.ideal = false;
-    CapstanConfig full = CapstanConfig::capstan(MemTech::HBM2E);
-
-    auto t_ideal = runApp(app, ds, ideal, opts);
-    auto t_net = runApp(app, ds, with_net, opts);
-    auto t_sram = runApp(app, ds, with_sram, opts);
-    auto t_full = runApp(app, ds, full, opts);
-
-    const int lanes = full.spmu.lanes;
-    double lane_width = static_cast<double>(lanes) * opts.tiles;
-
-    StallBreakdown synth;
-    const auto &tot = t_ideal.totals;
-    synth[StallClass::Active] = tot.active_lane_cycles;
-    synth[StallClass::Scan] = tot.scan_empty_cycles * lanes;
-    synth[StallClass::VectorLength] = tot.vector_idle_lane_cycles;
-    synth[StallClass::Imbalance] = tot.imbalance_lane_cycles;
-    double total_lane_cycles =
-        static_cast<double>(t_ideal.cycles) * lane_width;
-    double accounted = synth[StallClass::Active] +
-                       synth[StallClass::Scan] +
-                       synth[StallClass::VectorLength] +
-                       synth[StallClass::Imbalance];
-    synth[StallClass::LoadStore] =
-        std::max(0.0, total_lane_cycles - accounted);
-
-    return layerBreakdown(synth, static_cast<double>(t_ideal.cycles),
-                          static_cast<double>(t_net.cycles),
-                          static_cast<double>(t_sram.cycles),
-                          static_cast<double>(t_full.cycles),
-                          lane_width);
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    RunOptions opts = parseArgs(argc, argv);
-
-    std::printf("Figure 7: execution-time breakdown (%% of lane-"
-                "cycles) per app and dataset\n\n");
-    std::vector<std::string> headers = {"App", "Dataset"};
-    for (int c = 0; c < sim::kStallClasses; ++c)
-        headers.push_back(
-            sim::stallClassName(static_cast<StallClass>(c)));
-    TablePrinter table(headers);
-
-    for (const auto &app : allApps()) {
-        if (app == "BiCGStab")
-            continue; // Fig. 7 covers the ten Table 2 applications.
-        for (const auto &ds : datasetsFor(app)) {
-            std::fprintf(stderr, "  %s / %s...\n", app.c_str(),
-                         ds.c_str());
-            StallBreakdown b = breakdownFor(app, ds, opts);
-            std::vector<std::string> row = {app, ds};
-            for (int c = 0; c < sim::kStallClasses; ++c)
-                row.push_back(TablePrinter::num(
-                    b.percent(static_cast<StallClass>(c)), 1));
-            table.addRow(row);
-        }
-    }
-    table.print();
-    std::printf("\nExpected shapes (paper): SpMSpM pipelines well "
-                "(high Active); PR-Pull loses lanes to Vector Length; "
-                "PR-Edge loses to SRAM conflicts on power-law hubs; "
-                "BFS/SSSP pay the Network between levels; COO-CSC "
-                "over-represent Load/Store (single-iteration "
-                "end-to-end measurement).\n");
-    return 0;
+    return capstan::bench::benchMain("fig7", argc, argv);
 }

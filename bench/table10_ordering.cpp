@@ -1,78 +1,17 @@
 /**
  * @file
- * Table 10: the cost of SpMU memory-ordering modes for the applications
- * that rely on random on-chip accesses (CSR, COO, CSC, Conv, BiCGStab),
- * normalized to the fully-reordering (unordered) design.
+ * Table 10 shim: the logic lives in the registered `table10` study
+ * (src/report/studies_perf.cpp); this binary runs it under the
+ * historical bench CLI (--scale / --tiles / --iterations / --jobs)
+ * and prints the same plain-text tables. `capstan-report --study
+ * table10` renders the identical study to Markdown/CSV/JSON and
+ * checks it against data/paper_reference.json.
  */
 
-#include <cstdio>
-#include <map>
-
 #include "bench_util.hpp"
-
-using namespace capstan::bench;
-namespace sim = capstan::sim;
-using sim::CapstanConfig;
-using sim::MemTech;
 
 int
 main(int argc, char **argv)
 {
-    RunOptions opts = parseArgs(argc, argv);
-
-    std::printf("Table 10: impact of SpMU ordering modes "
-                "(runtime normalized to full reordering; "
-                "ours / paper)\n\n");
-
-    const std::vector<std::string> apps = {"CSR", "COO", "CSC", "Conv",
-                                           "BiCGStab"};
-    const std::map<std::string, std::array<double, 3>> paper = {
-        {"CSR", {1.00, 1.27, 1.35}},  {"COO", {1.00, 1.27, 4.18}},
-        {"CSC", {1.00, 1.11, 1.15}},  {"Conv", {1.00, 1.68, 2.07}},
-        {"BiCGStab", {1.00, 1.48, 1.62}},
-    };
-    const std::array<double, 3> paper_gmean = {1.00, 1.35, 1.85};
-
-    const std::vector<std::pair<std::string, sim::Ordering>> modes = {
-        {"Capstan", sim::Ordering::Unordered},
-        {"Address Ordered", sim::Ordering::AddressOrdered},
-        {"Ordered", sim::Ordering::FullyOrdered},
-    };
-
-    std::vector<std::string> headers = {"Mode"};
-    for (const auto &a : apps)
-        headers.push_back(a);
-    headers.push_back("gmean");
-    TablePrinter table(headers);
-
-    // Measure all modes per app first (column-major), then emit rows.
-    std::map<std::string, std::array<double, 3>> norm;
-    for (const auto &app : apps) {
-        std::string ds = datasetsFor(app)[0];
-        std::array<double, 3> times{};
-        for (std::size_t m = 0; m < modes.size(); ++m) {
-            CapstanConfig cfg = CapstanConfig::capstan(MemTech::HBM2E);
-            cfg.spmu.ordering = modes[m].second;
-            std::fprintf(stderr, "  %s / %s...\n", app.c_str(),
-                         modes[m].first.c_str());
-            times[m] = seconds(runApp(app, ds, cfg, opts));
-        }
-        for (std::size_t m = 0; m < modes.size(); ++m)
-            norm[app][m] = times[m] / times[0];
-    }
-
-    for (std::size_t m = 0; m < modes.size(); ++m) {
-        std::vector<std::string> row = {modes[m].first};
-        std::vector<double> vals;
-        for (const auto &app : apps) {
-            vals.push_back(norm[app][m]);
-            row.push_back(TablePrinter::num(norm[app][m], 2) + " / " +
-                          TablePrinter::num(paper.at(app)[m], 2));
-        }
-        row.push_back(TablePrinter::num(gmean(vals), 2) + " / " +
-                      TablePrinter::num(paper_gmean[m], 2));
-        table.addRow(row);
-    }
-    table.print();
-    return 0;
+    return capstan::bench::benchMain("table10", argc, argv);
 }

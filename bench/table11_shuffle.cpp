@@ -1,82 +1,17 @@
 /**
  * @file
- * Table 11: sensitivity to the merge (shuffle) network for the apps
- * with cross-partition communication. Runtimes normalized to the
- * primary design point, Mrg-1 (one lane of shift). "None" removes the
- * network entirely, forcing cross-tile updates through DRAM; it is
- * shown for both DDR4 and HBM2E as in the paper.
+ * Table 11 shim: the logic lives in the registered `table11` study
+ * (src/report/studies_perf.cpp); this binary runs it under the
+ * historical bench CLI (--scale / --tiles / --iterations / --jobs)
+ * and prints the same plain-text tables. `capstan-report --study
+ * table11` renders the identical study to Markdown/CSV/JSON and
+ * checks it against data/paper_reference.json.
  */
 
-#include <cstdio>
-#include <map>
-
 #include "bench_util.hpp"
-
-using namespace capstan::bench;
-namespace sim = capstan::sim;
-using sim::CapstanConfig;
-using sim::MemTech;
 
 int
 main(int argc, char **argv)
 {
-    RunOptions opts = parseArgs(argc, argv);
-
-    std::printf("Table 11: sensitivity to the merge network "
-                "(runtime normalized to Mrg-1; ours / paper)\n\n");
-
-    const std::vector<std::string> apps = {"PR-Pull", "PR-Edge", "Conv"};
-    // Paper rows: None(DDR4), None(HBM2E), Mrg-0, Mrg-1, Mrg-16.
-    const std::map<std::string, std::array<double, 5>> paper = {
-        {"PR-Pull", {1.71, 1.53, 1.00, 1.00, 0.99}},
-        {"PR-Edge", {1.30, 1.21, 1.00, 1.00, 1.00}},
-        {"Conv", {0, 1.07, 1.00, 1.00, 0.99}},
-    };
-
-    struct Variant
-    {
-        std::string name;
-        MemTech tech;
-        sim::MergeMode mode;
-    };
-    const std::vector<Variant> variants = {
-        {"None (DDR4)", MemTech::DDR4, sim::MergeMode::None},
-        {"None (HBM2E)", MemTech::HBM2E, sim::MergeMode::None},
-        {"Mrg-0", MemTech::HBM2E, sim::MergeMode::Mrg0},
-        {"Mrg-1", MemTech::HBM2E, sim::MergeMode::Mrg1},
-        {"Mrg-16", MemTech::HBM2E, sim::MergeMode::Mrg16},
-        // Denominator for the DDR4 column (same-technology baseline).
-        {"Mrg-1 (DDR4)", MemTech::DDR4, sim::MergeMode::Mrg1},
-    };
-
-    TablePrinter table({"App", "None DDR4", "None HBM2E", "Mrg-0",
-                        "Mrg-1", "Mrg-16"});
-    for (const auto &app : apps) {
-        std::string ds = datasetsFor(app)[0];
-        std::vector<double> times;
-        for (const auto &v : variants) {
-            CapstanConfig cfg = CapstanConfig::capstan(v.tech);
-            cfg.shuffle.mode = v.mode;
-            std::fprintf(stderr, "  %s / %s...\n", app.c_str(),
-                         v.name.c_str());
-            times.push_back(seconds(runApp(app, ds, cfg, opts)));
-        }
-        std::vector<std::string> row = {app};
-        const auto &p = paper.at(app);
-        for (std::size_t i = 0; i + 1 < times.size(); ++i) {
-            // Each column normalizes against the Mrg-1 baseline of its
-            // own memory technology, as the paper does.
-            double base = i == 0 ? times[5] : times[3];
-            std::string cell = TablePrinter::num(times[i] / base, 2);
-            cell += " / ";
-            cell += p[i] > 0 ? TablePrinter::num(p[i], 2) : "-";
-            row.push_back(cell);
-        }
-        table.addRow(row);
-    }
-    table.print();
-    std::printf("\n(DDR4 and HBM2E 'None' columns normalize against "
-                "the Mrg-1 baseline of their own memory technology; "
-                "Conv's DDR4 point is not reported in the paper.)\n");
-    return 0;
+    return capstan::bench::benchMain("table11", argc, argv);
 }

@@ -1,226 +1,17 @@
 /**
  * @file
- * Table 12: runtimes normalized to the fastest Capstan-HBM2E version of
- * each application, across Capstan memory technologies, Plasticine, the
- * V100 GPU model, and the 128-thread CPU model.
- *
- * Normalization groups follow the paper: the three SpMV variants share
- * one base (their fastest HBM2E variant), as do the two PageRank
- * variants; every other app normalizes to its own HBM2E run. Each cell
- * is the geometric mean over the app's Table 6 datasets (at the bench
- * scales recorded in EXPERIMENTS.md). Baseline rows only cover the
- * variants the paper's baselines support.
+ * Table 12 shim: the logic lives in the registered `table12` study
+ * (src/report/studies_perf.cpp); this binary runs it under the
+ * historical bench CLI (--scale / --tiles / --iterations / --jobs)
+ * and prints the same plain-text tables. `capstan-report --study
+ * table12` renders the identical study to Markdown/CSV/JSON and
+ * checks it against data/paper_reference.json.
  */
 
-#include <cstdio>
-#include <map>
-#include <optional>
-
-#include "baselines/asic_models.hpp"
-#include "baselines/cpu_gpu.hpp"
 #include "bench_util.hpp"
-#include "workloads/datasets.hpp"
-
-using namespace capstan;
-using namespace capstan::bench;
-using namespace capstan::baselines;
-using namespace capstan::workloads;
-namespace sim = capstan::sim;
-using sim::CapstanConfig;
-using sim::MemTech;
-
-namespace {
-
-/** Per-app geometric-mean runtime (seconds) under a Capstan config. */
-double
-capstanSeconds(const std::string &app, const CapstanConfig &cfg,
-               const RunOptions &opts)
-{
-    std::vector<double> times;
-    for (const auto &ds : datasetsFor(app))
-        times.push_back(seconds(runApp(app, ds, cfg, opts)));
-    return gmean(times);
-}
-
-/** Baseline model runtime (seconds), gmean over datasets. */
-double
-baselineSeconds(const std::string &app, bool gpu,
-                const RunOptions &opts)
-{
-    std::vector<double> times;
-    for (const auto &ds : datasetsFor(app)) {
-        double scale = defaultScale(ds) * opts.scale_mult;
-        KernelProfile p;
-        if (app == "Conv") {
-            const auto &layer = loadConvDataset(ds, scale).layer;
-            // cuDNN runs the dense convolution; the CPU tensor
-            // compiler emits a scalar sparse loop nest.
-            p = gpu ? profileConv(layer) : profileConvSparseCpu(layer);
-        } else {
-            auto m = loadMatrixDataset(ds, scale).matrix;
-            if (app == "CSR")
-                p = profileSpmvCsr(m);
-            else if (app == "COO")
-                p = profileSpmvCoo(m);
-            else if (app == "CSC")
-                p = profileSpmvCsc(m, 0.30);
-            else if (app == "PR-Pull")
-                p = profilePageRankPull(m, opts.iterations);
-            else if (app == "PR-Edge")
-                p = profilePageRankEdge(m, opts.iterations);
-            else if (app == "BFS")
-                p = profileBfs(m, 0);
-            else if (app == "SSSP")
-                p = profileSssp(m, 0);
-            else if (app == "M+M")
-                p = profileMatAdd(m, m);
-            else if (app == "SpMSpM")
-                p = profileSpmspm(m, m);
-            else if (app == "BiCGStab")
-                p = profileBicgstab(m, opts.iterations);
-        }
-        times.push_back(gpu ? gpuSeconds(p) : cpuSeconds(p));
-    }
-    return gmean(times);
-}
-
-/** Published Table 12 rows (normalized), for side-by-side printing. */
-const std::map<std::string, std::map<std::string, double>> &
-paperRows()
-{
-    static const std::map<std::string, std::map<std::string, double>>
-        rows = {
-            {"Capstan (Ideal)",
-             {{"CSR", 0.83}, {"COO", 1.21}, {"CSC", 0.81},
-              {"Conv", 0.95}, {"PR-Pull", 0.79}, {"PR-Edge", 1.06},
-              {"BFS", 0.65}, {"SSSP", 0.73}, {"M+M", 0.86},
-              {"SpMSpM", 0.88}, {"BiCGStab", 0.94}}},
-            {"Capstan (HBM2E)",
-             {{"CSR", 1.25}, {"COO", 1.67}, {"CSC", 1.00},
-              {"Conv", 1.00}, {"PR-Pull", 1.00}, {"PR-Edge", 1.33},
-              {"BFS", 1.00}, {"SSSP", 1.00}, {"M+M", 1.00},
-              {"SpMSpM", 1.00}, {"BiCGStab", 1.00}}},
-            {"Capstan (HBM2)",
-             {{"CSR", 1.78}, {"COO", 2.26}, {"CSC", 1.27},
-              {"Conv", 1.01}, {"PR-Pull", 1.37}, {"PR-Edge", 1.73},
-              {"BFS", 1.28}, {"SSSP", 1.20}, {"M+M", 1.35},
-              {"SpMSpM", 1.53}, {"BiCGStab", 1.19}}},
-            {"Capstan (DDR4)",
-             {{"CSR", 18.16}, {"COO", 21.94}, {"CSC", 10.49},
-              {"Conv", 1.53}, {"PR-Pull", 12.08}, {"PR-Edge", 14.00},
-              {"BFS", 5.24}, {"SSSP", 3.89}, {"M+M", 8.20},
-              {"SpMSpM", 6.89}, {"BiCGStab", 13.43}}},
-            {"Plasticine (HBM2E)",
-             {{"CSR", 17.04}, {"COO", 184.16}, {"CSC", 365.09},
-              {"PR-Pull", 8.48}, {"BiCGStab", 7.57}}},
-            {"V100 GPU",
-             {{"CSR", 6.16}, {"COO", 119.39}, {"Conv", 8.68},
-              {"PR-Pull", 31.64}, {"PR-Edge", 13.59}, {"BFS", 12.25},
-              {"SSSP", 41.79}, {"SpMSpM", 22.19},
-              {"BiCGStab", 20.50}}},
-            {"128-Thread CPU",
-             {{"CSR", 67.86}, {"COO", 640.31}, {"CSC", 485.64},
-              {"Conv", 99.86}, {"PR-Pull", 52.91}, {"PR-Edge", 62.29},
-              {"BFS", 68.29}, {"SSSP", 73.90}, {"M+M", 2254.09},
-              {"SpMSpM", 143.03}, {"BiCGStab", 117.50}}},
-        };
-    return rows;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    RunOptions opts = parseArgs(argc, argv);
-
-    std::printf("Table 12: runtimes normalized to the fastest "
-                "Capstan-HBM2E variant (ours / paper)\n\n");
-
-    // Measure Capstan under the four configurations.
-    std::map<std::string, std::map<std::string, double>> secs;
-    struct ConfigRow
-    {
-        std::string name;
-        CapstanConfig cfg;
-    };
-    std::vector<ConfigRow> configs = {
-        {"Capstan (Ideal)", CapstanConfig::ideal()},
-        {"Capstan (HBM2E)", CapstanConfig::capstan(MemTech::HBM2E)},
-        {"Capstan (HBM2)", CapstanConfig::capstan(MemTech::HBM2)},
-        {"Capstan (DDR4)", CapstanConfig::capstan(MemTech::DDR4)},
-        {"Plasticine (HBM2E)",
-         CapstanConfig::plasticine(MemTech::HBM2E)},
-    };
-    // Plasticine cannot map Conv, PR-Edge, BFS, SSSP, M+M, or SpMSpM.
-    const std::vector<std::string> plasticine_apps = {
-        "CSR", "COO", "CSC", "PR-Pull", "BiCGStab"};
-
-    for (const auto &cr : configs) {
-        const auto &apps = cr.name.rfind("Plasticine", 0) == 0
-                               ? plasticine_apps
-                               : allApps();
-        for (const auto &app : apps) {
-            std::fprintf(stderr, "  running %s / %s...\n",
-                         cr.name.c_str(), app.c_str());
-            secs[cr.name][app] = capstanSeconds(app, cr.cfg, opts);
-        }
-    }
-    // Baseline models.
-    const std::vector<std::string> gpu_apps = {
-        "CSR", "COO", "Conv", "PR-Pull", "PR-Edge",
-        "BFS", "SSSP", "SpMSpM", "BiCGStab"};
-    for (const auto &app : gpu_apps)
-        secs["V100 GPU"][app] = baselineSeconds(app, true, opts);
-    for (const auto &app : allApps())
-        secs["128-Thread CPU"][app] = baselineSeconds(app, false, opts);
-
-    // Normalization bases: fastest HBM2E variant within each group.
-    auto base = [&](const std::string &app) {
-        const auto &hbm = secs.at("Capstan (HBM2E)");
-        if (app == "CSR" || app == "COO" || app == "CSC")
-            return std::min({hbm.at("CSR"), hbm.at("COO"),
-                             hbm.at("CSC")});
-        if (app == "PR-Pull" || app == "PR-Edge")
-            return std::min(hbm.at("PR-Pull"), hbm.at("PR-Edge"));
-        return hbm.at(app);
-    };
-
-    std::vector<std::string> headers = {"Configuration"};
-    for (const auto &app : allApps())
-        headers.push_back(app);
-    headers.push_back("gmean");
-    TablePrinter table(headers);
-
-    std::vector<std::string> order = {
-        "Capstan (Ideal)", "Capstan (HBM2E)", "Capstan (HBM2)",
-        "Capstan (DDR4)",  "Plasticine (HBM2E)", "V100 GPU",
-        "128-Thread CPU"};
-    for (const auto &row_name : order) {
-        std::vector<std::string> cells = {row_name};
-        std::vector<double> normalized;
-        for (const auto &app : allApps()) {
-            auto it = secs[row_name].find(app);
-            if (it == secs[row_name].end()) {
-                cells.push_back("-");
-                continue;
-            }
-            double norm = it->second / base(app);
-            normalized.push_back(norm);
-            std::string cell = TablePrinter::num(norm, 2);
-            auto prow = paperRows().find(row_name);
-            if (prow != paperRows().end()) {
-                auto pv = prow->second.find(app);
-                if (pv != prow->second.end())
-                    cell += " / " + TablePrinter::num(pv->second, 2);
-            }
-            cells.push_back(cell);
-        }
-        cells.push_back(TablePrinter::num(gmean(normalized), 2));
-        table.addRow(cells);
-    }
-    table.print();
-    std::printf("\nCells are ours / paper where the paper reports the "
-                "point; '-' marks unsupported mappings.\n");
-    return 0;
+    return capstan::bench::benchMain("table12", argc, argv);
 }

@@ -1,128 +1,17 @@
 /**
  * @file
- * Table 13: Capstan vs. recently-proposed ASICs, at 1.6 GHz and at a
- * 1 GHz clock parity point. As in the paper:
- *  - EIE and SCNN compare against ideal baseline models; the EIE
- *    comparison uses compute throughput only (ideal network + memory
- *    Capstan run), and SCNN uses the manually-mapped convolution.
- *  - Graphicionado runs without back pointers, with DDR4 Capstan,
- *    including load/store time.
- *  - MatRaptor is taken at its highest demonstrated 10 GOP/s.
+ * Table 13 shim: the logic lives in the registered `table13` study
+ * (src/report/studies_perf.cpp); this binary runs it under the
+ * historical bench CLI (--scale / --tiles / --iterations / --jobs)
+ * and prints the same plain-text tables. `capstan-report --study
+ * table13` renders the identical study to Markdown/CSV/JSON and
+ * checks it against data/paper_reference.json.
  */
 
-#include <cstdio>
-
-#include "baselines/asic_models.hpp"
 #include "bench_util.hpp"
-#include "workloads/datasets.hpp"
-
-using namespace capstan;
-using namespace capstan::bench;
-using namespace capstan::baselines;
-using namespace capstan::workloads;
-namespace sim = capstan::sim;
-using sim::CapstanConfig;
-using sim::MemTech;
 
 int
 main(int argc, char **argv)
 {
-    RunOptions opts = parseArgs(argc, argv);
-
-    std::printf("Table 13: Capstan speedup over recent accelerators "
-                "(ours / paper)\n\n");
-    TablePrinter table({"Baseline", "App", "1.6 GHz", "(paper)",
-                        "1 GHz", "(paper)"});
-
-    // --- EIE: CSC SpMV compute throughput (weights on-chip for EIE).
-    {
-        std::string ds = "ckt11752_dc_1";
-        double scale = defaultScale(ds) * opts.scale_mult;
-        auto m = loadMatrixDataset(ds, scale).matrix;
-        std::fprintf(stderr, "  EIE / CSC...\n");
-        double cap =
-            seconds(runApp("CSC", ds, CapstanConfig::ideal(), opts));
-        double eie = eieSeconds(m, 0.30);
-        double speedup = eie / cap;
-        table.addRow({"EIE", "CSC", TablePrinter::num(speedup, 2),
-                      "0.53", TablePrinter::num(speedup / 1.6, 2),
-                      "0.40"});
-    }
-
-    // --- SCNN: convolution. SCNN's 1024-multiplier array dwarfs the
-    // simulated tiles/200 chip slice, so its throughput is weak-scaled
-    // by the same fraction (EXPERIMENTS.md, Table 13 notes).
-    {
-        std::string ds = "ResNet-50 #2";
-        double scale = defaultScale(ds) * opts.scale_mult;
-        auto layer = loadConvDataset(ds, scale).layer;
-        std::fprintf(stderr, "  SCNN / Conv...\n");
-        double cap = seconds(runApp(
-            "Conv", ds, CapstanConfig::capstan(MemTech::HBM2E), opts));
-        double fraction = std::min(1.0, opts.tiles / 200.0);
-        double scnn = scnnSeconds(layer) / fraction;
-        double speedup = scnn / cap;
-        table.addRow({"SCNN", "Conv", TablePrinter::num(speedup, 2),
-                      "1.40", TablePrinter::num(speedup / 1.6, 2),
-                      "0.87"});
-    }
-
-    // --- Graphicionado: PR / BFS / SSSP with DDR4, no back pointers.
-    {
-        const std::vector<std::tuple<std::string, double, double>>
-            rows = {{"PR-Pull", 1.08, 0.97},
-                    {"BFS", 2.10, 2.06},
-                    {"SSSP", 1.13, 1.03}};
-        for (auto &[app, p16, p10] : rows) {
-            std::string ds = "flickr";
-            double scale = defaultScale(ds) * opts.scale_mult;
-            auto g = loadMatrixDataset(ds, scale).matrix;
-            RunOptions o = opts;
-            o.write_pointers = false;
-            std::fprintf(stderr, "  Graphicionado / %s...\n",
-                         app.c_str());
-            double cap = seconds(runApp(
-                app, ds, CapstanConfig::capstan(MemTech::DDR4), o));
-            double passes = app == "PR-Pull" ? o.iterations : 6;
-            double edges = static_cast<double>(g.nnz()) *
-                           (app == "PR-Pull" ? o.iterations : 1.2);
-            double graphi = graphicionadoSeconds(edges,
-                                                 static_cast<int>(
-                                                     passes));
-            double speedup = graphi / cap;
-            std::string label = app == "PR-Pull" ? "PR" : app;
-            table.addRow({"Graphicionado", label,
-                          TablePrinter::num(speedup, 2),
-                          TablePrinter::num(p16, 2),
-                          TablePrinter::num(speedup / 1.6, 2),
-                          TablePrinter::num(p10, 2)});
-        }
-    }
-
-    // --- MatRaptor: SpMSpM at 10 GOP/s.
-    {
-        std::string ds = "qc324";
-        double scale = defaultScale(ds) * opts.scale_mult;
-        auto m = loadMatrixDataset(ds, scale).matrix;
-        double mults = 0;
-        for (Index i = 0; i < m.rows(); ++i) {
-            for (Index j : m.rowIndices(i))
-                mults += m.rowLength(j);
-        }
-        std::fprintf(stderr, "  MatRaptor / SpMSpM...\n");
-        double cap = seconds(runApp(
-            "SpMSpM", ds, CapstanConfig::capstan(MemTech::HBM2E),
-            opts));
-        double mat = matraptorSeconds(mults);
-        double speedup = mat / cap;
-        table.addRow({"MatRaptor", "SpMSpM",
-                      TablePrinter::num(speedup, 2), "17.96",
-                      TablePrinter::num(speedup / 1.6, 2), "12.22"});
-    }
-
-    table.print();
-    std::printf("\nReference areas (paper): EIE 64 mm^2/28 nm, SCNN "
-                "7.9 mm^2/16 nm, Graphicionado 64 MiB eDRAM, MatRaptor "
-                "2.26 mm^2/28 nm; Capstan 184.5 mm^2/15 nm.\n");
-    return 0;
+    return capstan::bench::benchMain("table13", argc, argv);
 }

@@ -1,112 +1,17 @@
 /**
  * @file
- * Table 4: SpMU throughput (percentage of banks active per cycle) as a
- * function of issue-queue depth, crossbar size, and priority classes,
- * plus the scheduler's area from the synthesis-anchored model.
- *
- * Methodology mirrors the paper's microbenchmark: keep the issue queue
- * saturated with full 16-lane vectors of uniformly random addresses and
- * measure grants per bank-cycle over a long steady state.
+ * Table 4 shim: the logic lives in the registered `table4` study
+ * (src/report/studies_components.cpp); this binary runs it under the
+ * historical bench CLI (--scale / --tiles / --iterations / --jobs)
+ * and prints the same plain-text tables. `capstan-report --study
+ * table4` renders the identical study to Markdown/CSV/JSON and
+ * checks it against data/paper_reference.json.
  */
 
-#include <cstdio>
-#include <random>
-
 #include "bench_util.hpp"
-#include "sim/area.hpp"
-#include "sim/spmu.hpp"
-
-using namespace capstan;
-using namespace capstan::bench;
-namespace sim = capstan::sim;
-
-namespace {
-
-double
-measureUtilization(const sim::SpmuConfig &cfg, int vectors,
-                   std::uint32_t seed)
-{
-    sim::SparseMemoryUnit spmu(cfg);
-    std::mt19937 rng(seed);
-    int injected = 0;
-    while (injected < vectors || !spmu.empty()) {
-        if (injected < vectors) {
-            sim::AccessVector av;
-            av.id = injected;
-            for (int l = 0; l < cfg.lanes; ++l) {
-                av.lane[l].valid = true;
-                av.lane[l].addr = rng();
-                av.lane[l].op = sim::AccessOp::Read;
-            }
-            if (spmu.tryEnqueue(av))
-                ++injected;
-        }
-        spmu.step();
-        while (spmu.tryDequeue()) {
-        }
-    }
-    return 100.0 * spmu.stats().bankUtilization(cfg.banks);
-}
-
-/** Published Table 4 values for side-by-side comparison. */
-double
-paperValue(int depth, int xbar, int priorities)
-{
-    struct Row
-    {
-        int d, x;
-        double p1, p2, p3;
-    };
-    static constexpr Row rows[] = {
-        {8, 16, 51.5, 66.4, 67.9},  {8, 32, 55.3, 68.5, 72.5},
-        {16, 16, 63.9, 79.9, 79.9}, {16, 32, 67.8, 85.1, 85.4},
-        {32, 16, 72.7, 84.7, 84.7}, {32, 32, 77.0, 92.4, 92.5},
-    };
-    for (const Row &r : rows) {
-        if (r.d == depth && r.x == xbar)
-            return priorities == 1 ? r.p1
-                                   : (priorities == 2 ? r.p2 : r.p3);
-    }
-    return 0.0;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    RunOptions opts = parseArgs(argc, argv);
-    int vectors = static_cast<int>(6000 * std::max(0.1,
-                                                   opts.scale_mult));
-
-    std::printf("Table 4: SpMU throughput (%% banks active/cycle) vs "
-                "queue depth, crossbar, priorities\n");
-    std::printf("(model vs. paper; random 16-lane access traces)\n\n");
-
-    TablePrinter table({"Depth", "Crossbar", "Sched. um^2", "1-Pri",
-                        "(paper)", "2-Pri", "(paper)", "3-Pri",
-                        "(paper)"});
-    for (int depth : {8, 16, 32}) {
-        for (int speedup : {1, 2}) {
-            int xbar_in = 16 * speedup;
-            std::vector<std::string> row;
-            row.push_back(std::to_string(depth));
-            row.push_back(std::to_string(xbar_in) + "x16");
-            row.push_back(TablePrinter::num(
-                sim::schedulerAreaUm2(depth, xbar_in), 0));
-            for (int pri : {1, 2, 3}) {
-                sim::SpmuConfig cfg;
-                cfg.queue_depth = depth;
-                cfg.input_speedup = speedup;
-                cfg.priorities = pri;
-                row.push_back(TablePrinter::num(
-                    measureUtilization(cfg, vectors, 99), 1));
-                row.push_back(TablePrinter::num(
-                    paperValue(depth, xbar_in, pri), 1));
-            }
-            table.addRow(row);
-        }
-    }
-    table.print();
-    return 0;
+    return capstan::bench::benchMain("table4", argc, argv);
 }

@@ -1,40 +1,17 @@
 /**
  * @file
- * Table 5: scanner area (um^2) across window widths and output
- * vectorization. The published synthesis points are anchored verbatim
- * in the area model (DESIGN.md #4); this harness regenerates the table
- * and reports the design point the paper selects (256 x 16, which saves
- * 54% over the maximal 512 x 16 configuration).
+ * Table 5 shim: the logic lives in the registered `table5` study
+ * (src/report/studies_components.cpp); this binary runs it under the
+ * historical bench CLI (--scale / --tiles / --iterations / --jobs)
+ * and prints the same plain-text tables. `capstan-report --study
+ * table5` renders the identical study to Markdown/CSV/JSON and
+ * checks it against data/paper_reference.json.
  */
 
-#include <cstdio>
-
 #include "bench_util.hpp"
-#include "sim/area.hpp"
-
-using namespace capstan::bench;
-namespace sim = capstan::sim;
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("Table 5: scanner area (um^2) vs width and output "
-                "vectorization\n\n");
-    TablePrinter table({"Width", "1", "2", "4", "8", "16"});
-    for (int width : {128, 256, 512}) {
-        std::vector<std::string> row;
-        row.push_back(std::to_string(width));
-        for (int outputs : {1, 2, 4, 8, 16})
-            row.push_back(TablePrinter::num(
-                sim::scannerAreaUm2(width, outputs), 0));
-        table.addRow(row);
-    }
-    table.print();
-
-    double chosen = sim::scannerAreaUm2(256, 16);
-    double maximal = sim::scannerAreaUm2(512, 16);
-    std::printf("\nChosen design point: 256x16 = %.0f um^2 "
-                "(%.0f%% smaller than 512x16 = %.0f um^2; paper: 54%%)\n",
-                chosen, 100.0 * (1.0 - chosen / maximal), maximal);
-    return 0;
+    return capstan::bench::benchMain("table5", argc, argv);
 }

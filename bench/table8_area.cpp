@@ -1,48 +1,17 @@
 /**
  * @file
- * Table 8: chip area and power, Capstan vs. Plasticine, from the
- * synthesis-anchored area model (DESIGN.md #4). The headline claims are
- * +16% area and +12% power for full sparse support.
+ * Table 8 shim: the logic lives in the registered `table8` study
+ * (src/report/studies_components.cpp); this binary runs it under the
+ * historical bench CLI (--scale / --tiles / --iterations / --jobs)
+ * and prints the same plain-text tables. `capstan-report --study
+ * table8` renders the identical study to Markdown/CSV/JSON and
+ * checks it against data/paper_reference.json.
  */
 
-#include <cstdio>
-
 #include "bench_util.hpp"
-#include "sim/area.hpp"
-
-using namespace capstan::bench;
-namespace sim = capstan::sim;
 
 int
-main()
+main(int argc, char **argv)
 {
-    sim::ChipArea p = sim::plasticineArea();
-    sim::ChipArea c = sim::capstanArea();
-
-    std::printf("Table 8: area relative to Plasticine (mm^2)\n\n");
-    TablePrinter table({"Unit", "Plasticine each", "Plasticine total",
-                        "Capstan each", "Capstan total"});
-    for (std::size_t i = 0; i < p.rows.size(); ++i) {
-        table.addRow({
-            p.rows[i].unit,
-            TablePrinter::num(p.rows[i].each_mm2, 3),
-            TablePrinter::num(p.rows[i].total_mm2(), 1),
-            TablePrinter::num(c.rows[i].each_mm2, 3),
-            TablePrinter::num(c.rows[i].total_mm2(), 1),
-        });
-    }
-    table.addRow({"Total Area (mm^2)", "", TablePrinter::num(p.totalMm2(), 1),
-                  "", TablePrinter::num(c.totalMm2(), 1)});
-    table.addRow({"Design Power (W)", "", TablePrinter::num(p.power_w, 0),
-                  "", TablePrinter::num(c.power_w, 0)});
-    table.print();
-
-    std::printf("\nCapstan adds %.0f%% area and %.0f%% power "
-                "(paper: 16%% and 12%%).\n",
-                100.0 * (c.totalMm2() / p.totalMm2() - 1.0),
-                100.0 * (c.power_w / p.power_w - 1.0));
-    std::printf("Per-unit additions: CU scanner 4.7%% + format conv "
-                "0.5%%; MU bank FPUs 4.5%% + allocator 0.8%%; AG "
-                "functional units 13.8%% + decompressor 6.0%%.\n");
-    return 0;
+    return capstan::bench::benchMain("table8", argc, argv);
 }

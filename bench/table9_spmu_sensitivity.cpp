@@ -1,124 +1,17 @@
 /**
  * @file
- * Table 9: application sensitivity to the SpMU architecture. Runtimes
- * normalized to Capstan's allocated design with address hashing:
- * Ideal (no bank conflicts), Capstan {hash, linear}, weak allocator
- * {hash, linear}, arbitrated {hash, linear}.
- *
- * Each variant declares a SweepSpec whose app axis expands to all
- * eleven applications (each on its family's default dataset); the
- * driver's sweep engine executes the 77-point study on a thread pool
- * (`--jobs N`, default all cores), exactly like `capstan-run --sweep`.
+ * Table 9 shim: the logic lives in the registered `table9` study
+ * (src/report/studies_perf.cpp); this binary runs it under the
+ * historical bench CLI (--scale / --tiles / --iterations / --jobs)
+ * and prints the same plain-text tables. `capstan-report --study
+ * table9` renders the identical study to Markdown/CSV/JSON and
+ * checks it against data/paper_reference.json.
  */
 
-#include <cstdio>
-#include <map>
-#include <string>
-#include <vector>
-
 #include "bench_util.hpp"
-
-using namespace capstan::bench;
-namespace driver = capstan::driver;
-namespace sim = capstan::sim;
-
-namespace {
-
-const std::map<std::string, std::array<double, 7>> &
-paperRows()
-{
-    // Columns: Ideal, Hash, Lin, WeakHash, WeakLin, ArbHash, ArbLin.
-    static const std::map<std::string, std::array<double, 7>> rows = {
-        {"CSR", {0.97, 1.00, 1.06, 1.29, 1.35, 1.31, 1.59}},
-        {"COO", {0.89, 1.00, 1.06, 1.20, 1.30, 1.27, 1.58}},
-        {"CSC", {0.98, 1.00, 1.02, 1.08, 1.13, 1.13, 1.39}},
-        {"Conv", {0.78, 1.00, 2.44, 1.39, 2.88, 1.90, 3.52}},
-        {"PR-Pull", {0.98, 1.00, 1.00, 1.11, 1.11, 1.33, 1.33}},
-        {"PR-Edge", {0.76, 1.00, 0.93, 1.14, 1.10, 1.28, 1.23}},
-        {"BFS", {0.96, 1.00, 1.16, 1.06, 1.18, 1.13, 1.26}},
-        {"SSSP", {1.00, 1.00, 1.00, 1.00, 1.01, 1.04, 1.04}},
-        {"M+M", {1.00, 1.00, 1.01, 1.00, 1.00, 1.00, 1.00}},
-        {"SpMSpM", {0.98, 1.00, 0.97, 1.07, 1.02, 1.22, 1.02}},
-        {"BiCGStab", {0.91, 1.00, 1.06, 1.34, 1.48, 1.55, 2.14}},
-    };
-    return rows;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    RunOptions opts = parseArgs(argc, argv);
-    int jobs = parseJobs(argc, argv);
-
-    std::printf("Table 9: sensitivity to SpMU architecture "
-                "(runtime normalized to Capstan+hash; ours / paper)\n\n");
-
-    struct Variant
-    {
-        std::string ordering; //!< Sweep-axis value ("unordered", ...).
-        std::string hash;     //!< "xor" or "linear".
-        std::string allocator;//!< "full" or "weak".
-        std::string ideal;    //!< "true" for the conflict-free SpMU.
-    };
-    const std::vector<Variant> variants = {
-        {"unordered", "xor", "full", "true"},     // Ideal
-        {"unordered", "xor", "full", "false"},    // Hash (baseline)
-        {"unordered", "linear", "full", "false"}, // Lin.
-        {"unordered", "xor", "weak", "false"},    // Weak-H
-        {"unordered", "linear", "weak", "false"}, // Weak-L
-        {"arbitrated", "xor", "full", "false"},   // Arb-H
-        {"arbitrated", "linear", "full", "false"},// Arb-L
-    };
-
-    // One spec per variant; the app axis expands to all eleven
-    // applications, each on its family's default (first) dataset —
-    // --scale trades fidelity for wall-time as before. Points are
-    // variant-major: index v * apps + a.
-    std::vector<driver::DriverOptions> points;
-    for (const auto &v : variants) {
-        driver::SweepSpec spec;
-        spec.base = sweepBase(allApps().front(), "", opts);
-        spec.set("app", allApps());
-        spec.set("ordering", {v.ordering});
-        spec.set("hash", {v.hash});
-        spec.set("allocator", {v.allocator});
-        spec.set("spmu-ideal", {v.ideal});
-        auto expanded = driver::expandSweep(spec);
-        points.insert(points.end(), expanded.begin(), expanded.end());
-    }
-    auto results = driver::runSweep(points, jobs, benchProgress());
-    requireAllOk(results);
-
-    const std::size_t napps = allApps().size();
-    auto secondsAt = [&](std::size_t variant, std::size_t app) {
-        return seconds(results[variant * napps + app].result.timing);
-    };
-
-    TablePrinter table({"App", "Ideal", "Hash", "Lin.", "Weak-H",
-                        "Weak-L", "Arb-H", "Arb-L"});
-    std::vector<std::vector<double>> columns(variants.size());
-    for (std::size_t a = 0; a < napps; ++a) {
-        const std::string &app = allApps()[a];
-        double base = secondsAt(1, a); // Capstan + hash.
-        std::vector<std::string> row = {app};
-        const auto &paper = paperRows().at(app);
-        for (std::size_t i = 0; i < variants.size(); ++i) {
-            double norm = secondsAt(i, a) / base;
-            columns[i].push_back(norm);
-            row.push_back(TablePrinter::num(norm, 2) + " / " +
-                          TablePrinter::num(paper[i], 2));
-        }
-        table.addRow(row);
-    }
-    std::vector<std::string> grow = {"gmean"};
-    const std::array<double, 7> paper_gmean = {0.92, 1.00, 1.11, 1.15,
-                                               1.26, 1.27, 1.44};
-    for (std::size_t i = 0; i < columns.size(); ++i)
-        grow.push_back(TablePrinter::num(gmean(columns[i]), 2) + " / " +
-                       TablePrinter::num(paper_gmean[i], 2));
-    table.addRow(grow);
-    table.print();
-    return 0;
+    return capstan::bench::benchMain("table9", argc, argv);
 }

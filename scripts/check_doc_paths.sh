@@ -1,16 +1,35 @@
 #!/usr/bin/env bash
-# Fail if any markdown doc references a repo file path that no longer
-# exists. Keeps docs/ARCHITECTURE.md's source map honest as code moves.
+# Docs hygiene, two checks:
 #
-# A "path reference" is a backtick-quoted token starting with a known
-# top-level directory (src/, bench/, tests/, docs/, examples/,
-# scripts/, .github/) or a top-level *.md / *.json file. Tokens
-# containing globs, spaces, or placeholders are skipped. `path:line`
-# references check the path part only. Run from anywhere; checks the
-# repo the script lives in.
+# 1. Path check (always): fail if any markdown doc references a repo
+#    file path that no longer exists. Keeps docs/ARCHITECTURE.md's
+#    source map honest as code moves. A "path reference" is a
+#    backtick-quoted token starting with a known top-level directory
+#    (src/, bench/, tests/, docs/, examples/, scripts/, data/,
+#    .github/) or a top-level *.md / *.json file. Tokens containing
+#    globs, spaces, or placeholders are skipped. `path:line`
+#    references check the path part only.
+#
+# 2. Command check (with `--commands [build_dir]`): extract every
+#    documented capstan-run / capstan-sweep / capstan-report command
+#    line (a code line whose first token is one of the binaries,
+#    optionally prefixed ./build/, with backslash continuations
+#    joined) and dry-run it against the built binaries (--dry-run
+#    validates flags, runs nothing, writes nothing), so documented
+#    commands can't rot. Skipped with a notice when the binaries are
+#    not built. build_dir defaults to <repo>/build.
+#
+# Run from anywhere; checks the repo the script lives in.
 
 set -u
 repo="$(cd "$(dirname "$0")/.." && pwd)"
+
+check_commands=0
+build_dir="$repo/build"
+if [ "${1:-}" = "--commands" ]; then
+    check_commands=1
+    [ -n "${2:-}" ] && build_dir="$2"
+fi
 
 missing="$(
     for doc in "$repo"/docs/*.md "$repo"/README.md; do
@@ -19,7 +38,8 @@ missing="$(
         while IFS= read -r token; do
             case "$token" in
                 *'*'*|*' '*|*'<'*|*'{'*|*'$'*) continue ;;
-                src/*|bench/*|tests/*|docs/*|examples/*|scripts/*|.github/*) ;;
+                report.json|report.csv|metrics.csv) continue ;; # generated artifacts
+                src/*|bench/*|tests/*|docs/*|examples/*|scripts/*|data/*|.github/*) ;;
                 */*) continue ;;
                 *.md|*.json) ;;
                 *) continue ;;
@@ -38,3 +58,44 @@ if [ -n "$missing" ]; then
     exit 1
 fi
 echo "check_doc_paths: all referenced paths exist"
+
+[ "$check_commands" = 1 ] || exit 0
+
+for prog in capstan-run capstan-sweep capstan-report; do
+    if [ ! -x "$build_dir/$prog" ]; then
+        echo "check_doc_paths: $build_dir/$prog not built;" \
+             "skipping the documented-command check"
+        exit 0
+    fi
+done
+
+failed=0
+for doc in "$repo"/docs/*.md "$repo"/README.md; do
+    [ -f "$doc" ] || continue
+    # Join backslash continuations, then keep lines whose first token
+    # is a driver binary (optionally ./build/-prefixed or after a $).
+    sed -e ':a' -e '/\\$/N; s/\\\n//; ta' "$doc" |
+    grep -E '^[[:space:]]*(\$[[:space:]]+)?(\./build/)?capstan-(run|sweep|report)([[:space:]]|$)' |
+    sed -E 's/^[[:space:]]*(\$[[:space:]]+)?(\.\/build\/)?//' |
+    sed -E 's/[[:space:]]+#.*$//' |
+    sort -u |
+    while IFS= read -r cmd; do
+        # shellcheck disable=SC2086
+        set -- $cmd
+        prog="$1"; shift
+        if ! "$build_dir/$prog" "$@" --dry-run >/dev/null 2>&1; then
+            echo "BROKEN COMMAND (${doc#"$repo"/}): $cmd"
+        fi
+    done > /tmp/check_doc_cmds.$$ 2>&1
+    if [ -s /tmp/check_doc_cmds.$$ ]; then
+        cat /tmp/check_doc_cmds.$$
+        failed=1
+    fi
+    rm -f /tmp/check_doc_cmds.$$
+done
+
+if [ "$failed" = 1 ]; then
+    echo "check_doc_paths: documented commands no longer parse" >&2
+    exit 1
+fi
+echo "check_doc_paths: all documented driver commands dry-run cleanly"

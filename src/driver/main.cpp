@@ -75,6 +75,16 @@ runSweepMode(const DriverOptions &opts, const std::string &prog)
     if (!opts.sweep_file.empty()) {
         std::ifstream in(opts.sweep_file);
         if (!in) {
+            // Docs dry-run their example commands before the example
+            // spec files exist; validate the remaining flags instead
+            // of failing on the missing file.
+            if (opts.dry_run) {
+                SweepSpec spec = specFromOptions(opts, nullptr);
+                expandSweep(spec);
+                std::cout << prog << ": dry run ok (sweep spec '"
+                          << opts.sweep_file << "' not read)\n";
+                return 0;
+            }
             std::cerr << prog << ": cannot open sweep spec '"
                       << opts.sweep_file << "'\n";
             return 2;
@@ -91,6 +101,11 @@ runSweepMode(const DriverOptions &opts, const std::string &prog)
     if (points.empty()) {
         std::cerr << prog << ": sweep expands to zero points\n";
         return 2;
+    }
+    if (opts.dry_run) {
+        std::cout << prog << ": dry run ok (" << points.size()
+                  << " points)\n";
+        return 0;
     }
 
     int jobs = resolveJobs(opts.jobs);
@@ -164,6 +179,11 @@ main(int argc, char **argv)
     }
 
     try {
+        if (parsed.options.dry_run &&
+            !parsed.options.sweepRequested()) {
+            std::cout << prog << ": dry run ok\n";
+            return 0;
+        }
         return parsed.options.sweepRequested()
                    ? runSweepMode(parsed.options, prog)
                    : runSingle(parsed.options, prog);

@@ -173,7 +173,8 @@ optionKeys()
         "app",       "dataset",   "scale",          "tiles",
         "iterations", "config",   "memtech",        "ordering",
         "merge",     "hash",      "allocator",      "queue-depth",
-        "bandwidth-gbps", "compression", "spmu-ideal"};
+        "bandwidth-gbps", "compression", "spmu-ideal",
+        "scan-bits", "scan-outputs", "scan-data-elems"};
     return keys;
 }
 
@@ -257,6 +258,21 @@ applyOption(DriverOptions &o, const std::string &key,
         if (!parseBool(v, s))
             return "spmu-ideal requires true|false";
         o.spmu_ideal = s;
+    } else if (key == "scan-bits") {
+        int b;
+        if (!parseInt(v, b) || b < 1)
+            return "scan-bits requires a positive integer";
+        o.scan_bits = b;
+    } else if (key == "scan-outputs") {
+        int n;
+        if (!parseInt(v, n) || n < 1)
+            return "scan-outputs requires a positive integer";
+        o.scan_outputs = n;
+    } else if (key == "scan-data-elems") {
+        int n;
+        if (!parseInt(v, n) || n < 1)
+            return "scan-data-elems requires a positive integer";
+        o.scan_data_elems = n;
     } else {
         return "unknown option '" + key + "'";
     }
@@ -296,6 +312,8 @@ parseArgs(const std::vector<std::string> &args)
             o.compression = true;
         } else if (a == "--spmu-ideal") {
             o.spmu_ideal = true;
+        } else if (a == "--dry-run") {
+            o.dry_run = true;
         } else if (a == "--output") {
             if (!value(v))
                 return fail("--output requires a path");
@@ -376,6 +394,12 @@ buildConfig(const DriverOptions &o)
         cfg.dram.compression = true;
     if (o.spmu_ideal)
         cfg.spmu.ideal = *o.spmu_ideal;
+    if (o.scan_bits)
+        cfg.scanner.window_bits = *o.scan_bits;
+    if (o.scan_outputs)
+        cfg.scanner.outputs = *o.scan_outputs;
+    if (o.scan_data_elems)
+        cfg.scanner.data_elements = *o.scan_data_elems;
     return cfg;
 }
 
@@ -418,6 +442,9 @@ usageText()
         "  --bandwidth-gbps B DRAM bandwidth override\n"
         "  --compression      enable pointer-tile DRAM compression\n"
         "  --spmu-ideal       conflict-free SpMU (Table 9 'Ideal')\n"
+        "  --scan-bits N      scanner window bits (Fig. 6a)\n"
+        "  --scan-outputs N   scan output vectorization (Fig. 6c)\n"
+        "  --scan-data-elems N data elements scanned/cycle (Fig. 6b)\n"
         "\n"
         "Sweeps (see docs/OUTPUT_SCHEMA.md for the report format):\n"
         "  --sweep PATH       run the cartesian sweep a JSON spec\n"
@@ -428,7 +455,8 @@ usageText()
         "                     keys: app dataset scale tiles iterations\n"
         "                     config memtech ordering merge hash\n"
         "                     allocator queue-depth bandwidth-gbps\n"
-        "                     compression spmu-ideal)\n"
+        "                     compression spmu-ideal scan-bits\n"
+        "                     scan-outputs scan-data-elems)\n"
         "  --jobs N           sweep worker threads (default: all cores)\n"
         "  --csv PATH         also write the sweep report as CSV\n"
         "\n"
@@ -437,6 +465,9 @@ usageText()
         "  --compact          JSON without pretty-printing\n"
         "                     (implies --json)\n"
         "  --output PATH      write stats to PATH instead of stdout\n"
+        "  --dry-run          validate flags (and the sweep expansion\n"
+        "                     when no spec file is involved), run\n"
+        "                     nothing, write nothing\n"
         "  --list             list apps and datasets, then exit\n"
         "  --help             this text\n";
 }

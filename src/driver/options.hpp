@@ -47,7 +47,11 @@ struct DriverOptions
     std::optional<double> bandwidth_gbps;    //!< DRAM override (Fig. 5a).
     bool compression = false;     //!< Pointer-tile DRAM compression.
     std::optional<bool> spmu_ideal; //!< Conflict-free SpMU (Table 9).
+    std::optional<int> scan_bits;    //!< Scanner window bits (Fig. 6a).
+    std::optional<int> scan_outputs; //!< Scan output width (Fig. 6c).
+    std::optional<int> scan_data_elems; //!< Data scanner width (Fig. 6b).
 
+    bool dry_run = false;         //!< Validate flags, run nothing.
     bool json = false;            //!< Emit JSON stats instead of text.
     int json_indent = 2;          //!< 0 = compact.
     std::string output;           //!< Write stats here; empty = stdout.
@@ -98,7 +102,8 @@ ParseResult parseArgs(const std::vector<std::string> &args);
  * The run-defining option keys settable by name: "app", "dataset",
  * "scale", "tiles", "iterations", "config", "memtech", "ordering",
  * "merge", "hash", "allocator", "queue-depth", "bandwidth-gbps",
- * "compression", "spmu-ideal". Flag parsing and sweep-axis expansion
+ * "compression", "spmu-ideal", "scan-bits", "scan-outputs",
+ * "scan-data-elems". Flag parsing and sweep-axis expansion
  * (sweep.hpp) share this list, so a sweep can vary exactly what a
  * single run can set.
  */

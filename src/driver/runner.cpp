@@ -263,6 +263,9 @@ statsToJson(const RunResult &r)
                 : sim::memTechBandwidth(r.config.dram.tech));
     cfg.set("compression", r.config.dram.compression);
     cfg.set("spmu_ideal", r.config.spmu.ideal);
+    cfg.set("scan_bits", r.config.scanner.window_bits);
+    cfg.set("scan_outputs", r.config.scanner.outputs);
+    cfg.set("scan_data_elems", r.config.scanner.data_elements);
     doc.set("config", std::move(cfg));
 
     JsonValue timing = JsonValue::object();

@@ -81,7 +81,12 @@ pointIdentity(const DriverOptions &o)
        << '\x1f'
        << (o.bandwidth_gbps ? std::to_string(*o.bandwidth_gbps) : "-")
        << '\x1f' << (o.compression ? 't' : 'f') << '\x1f'
-       << (o.spmu_ideal ? (*o.spmu_ideal ? "t" : "f") : "-");
+       << (o.spmu_ideal ? (*o.spmu_ideal ? "t" : "f") : "-") << '\x1f'
+       << (o.scan_bits ? std::to_string(*o.scan_bits) : "-") << '\x1f'
+       << (o.scan_outputs ? std::to_string(*o.scan_outputs) : "-")
+       << '\x1f'
+       << (o.scan_data_elems ? std::to_string(*o.scan_data_elems)
+                             : "-");
     return id.str();
 }
 
@@ -278,6 +283,14 @@ pointToJson(const DriverOptions &o)
 }
 
 std::string
+csvNumber(double v)
+{
+    return JsonValue(v).dump();
+}
+
+} // namespace
+
+std::string
 csvField(const std::string &s)
 {
     if (s.find_first_of(",\"\n") == std::string::npos)
@@ -291,14 +304,6 @@ csvField(const std::string &s)
     quoted += '"';
     return quoted;
 }
-
-std::string
-csvNumber(double v)
-{
-    return JsonValue(v).dump();
-}
-
-} // namespace
 
 JsonValue
 sweepReportToJson(const SweepSpec &spec,
@@ -337,7 +342,8 @@ sweepReportToCsv(const std::vector<SweepPointResult> &results)
     std::ostringstream out;
     out << "app,dataset,scale,rows,cols,nnz,config,memtech,ordering,"
            "merge,hash,allocator,queue_depth,bandwidth_gbps,"
-           "compression,spmu_ideal,tiles,iterations,cycles,runtime_ms,"
+           "compression,spmu_ideal,scan_bits,scan_outputs,"
+           "scan_data_elems,tiles,iterations,cycles,runtime_ms,"
            "occupancy,dram_bytes,dram_row_hit_rate,"
            "spmu_bank_utilization,error\n";
     for (const auto &r : results) {
@@ -346,7 +352,7 @@ sweepReportToCsv(const std::vector<SweepPointResult> &results)
             out << csvField(canonicalApp(o.app).value_or(o.app)) << ','
                 << csvField(o.dataset) << ',' << csvNumber(o.scale)
                 << ",,,," << configPointName(o.config) << ','
-                << sim::memTechName(o.memtech) << ",,,,,,,,,"
+                << sim::memTechName(o.memtech) << ",,,,,,,,,,,,"
                 << o.tiles << ',' << o.iterations << ",,,,,,,"
                 << csvField(r.error) << '\n';
             continue;
@@ -373,6 +379,9 @@ sweepReportToCsv(const std::vector<SweepPointResult> &results)
             << csvNumber(bandwidth) << ','
             << (res.config.dram.compression ? "true" : "false") << ','
             << (res.config.spmu.ideal ? "true" : "false") << ','
+            << res.config.scanner.window_bits << ','
+            << res.config.scanner.outputs << ','
+            << res.config.scanner.data_elements << ','
             << res.tiles << ',' << res.iterations << ','
             << res.timing.cycles << ','
             << csvNumber(res.timing.runtime_ms) << ','

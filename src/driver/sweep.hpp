@@ -134,6 +134,13 @@ JsonValue sweepReportToJson(const SweepSpec &spec,
 std::string
 sweepReportToCsv(const std::vector<SweepPointResult> &results);
 
+/**
+ * RFC-4180 CSV field: quoted (with internal quotes doubled) only when
+ * the value contains a comma, quote, or newline. Shared by the sweep
+ * and report CSV writers.
+ */
+std::string csvField(const std::string &s);
+
 } // namespace capstan::driver
 
 #endif // CAPSTAN_DRIVER_SWEEP_HPP

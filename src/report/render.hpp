@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Renderers for study results: plain text (the bench shims), Markdown
+ * (docs/RESULTS.md), CSV (metric rows), and JSON (report.json). All
+ * four are deterministic — fixed-precision cells, no wall-clock, no
+ * host identity — so rendered reports are byte-identical across runs
+ * and machines (micro_components included: its metrics are modeled
+ * throughputs, not host timings).
+ */
+
+#ifndef CAPSTAN_REPORT_RENDER_HPP
+#define CAPSTAN_REPORT_RENDER_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "driver/json.hpp"
+#include "report/study.hpp"
+
+namespace capstan::report {
+
+/** Fixed-precision number, or "-" when absent. */
+std::string num(std::optional<double> v, int precision = 2);
+
+/** "ours / paper" cell; just "ours" when the paper has no value. */
+std::string oursPaper(double ours, std::optional<double> paper,
+                      int precision = 2);
+
+/** One study's execution outcome inside a report. */
+struct StudyRun
+{
+    const Study *study = nullptr;
+    bool ok = false;
+    std::string error;  //!< what() when !ok.
+    StudyResult result; //!< Valid when ok.
+    StudyCheck check;   //!< Against the reference, when one was given.
+
+    /** "pass", "deviation", "unchecked", or "error". */
+    std::string verdict() const;
+};
+
+/** Report-wide identity rendered into every format. */
+struct ReportMeta
+{
+    std::string preset; //!< "quick", "full", or "custom".
+    driver::RunKnobs knobs;
+    bool checked = false; //!< --check was requested.
+};
+
+/** Fixed-width text tables + notes, as the bench binaries print. */
+std::string renderText(const StudyResult &result);
+
+/** The full docs/RESULTS.md document. */
+std::string renderMarkdown(const std::vector<StudyRun> &runs,
+                           const ReportMeta &meta);
+
+/**
+ * One metric per row:
+ * study,metric,value,paper,rel_tol,abs_tol,verdict.
+ */
+std::string renderCsv(const std::vector<StudyRun> &runs,
+                      const Reference *reference);
+
+/** The machine-readable report (docs/OUTPUT_SCHEMA.md). */
+driver::JsonValue reportToJson(const std::vector<StudyRun> &runs,
+                               const ReportMeta &meta);
+
+} // namespace capstan::report
+
+#endif // CAPSTAN_REPORT_RENDER_HPP

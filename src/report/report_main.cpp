@@ -1,0 +1,362 @@
+/**
+ * @file
+ * `capstan-report`: one-command paper reproduction.
+ *
+ * Runs registered studies (report/study.hpp) — every figure and table
+ * the paper publishes — through the driver's parallel sweep engine,
+ * renders docs/RESULTS.md (Markdown), report.json, and optionally a
+ * metrics CSV, and with `--check` compares every checked metric
+ * against the paper values in data/paper_reference.json, exiting
+ * non-zero iff any artifact deviates beyond its tolerance.
+ *
+ *   capstan-report --all --preset quick --check
+ *   capstan-report --study table12 --study fig5 --jobs 8
+ *   capstan-report --list
+ */
+
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "report/catalog.hpp"
+#include "report/render.hpp"
+#include "report/study.hpp"
+
+namespace {
+
+using namespace capstan::report;
+
+struct ReportArgs
+{
+    bool all = false;
+    std::vector<std::string> studies;
+    std::string preset = "quick"; //!< "quick" or "full".
+    double scale = 0.0;           //!< >0 overrides the preset's scale.
+    int tiles = 0;
+    int iterations = 0;
+    int jobs = 0;
+    bool check = false;
+    bool list = false;
+    bool help = false;
+    bool dry_run = false;
+    std::string reference; //!< Empty = search default locations.
+    std::string markdown = "docs/RESULTS.md";
+    std::string json = "report.json";
+    std::string csv; //!< Empty = skip.
+    std::string error;
+};
+
+const char *kUsage =
+    "capstan-report: reproduce the paper's figures and tables\n"
+    "\n"
+    "Usage: capstan-report (--all | --study NAME...) [flags]\n"
+    "\n"
+    "Study selection:\n"
+    "  --all              run every registered study (paper order)\n"
+    "  --study NAME       run one study (repeatable; see --list)\n"
+    "  --list             list registered studies, then exit\n"
+    "\n"
+    "Execution:\n"
+    "  --preset P         quick (bench-smoke scales; the tolerances in\n"
+    "                     data/paper_reference.json are calibrated\n"
+    "                     here) or full (bench-default scales)\n"
+    "  --scale F          override the preset's dataset scale\n"
+    "  --tiles N          override the preset's tile count\n"
+    "  --iterations N     override the preset's PR/BiCGStab iterations\n"
+    "  --jobs N           sweep worker threads (default: all cores)\n"
+    "\n"
+    "Checking and output:\n"
+    "  --check            compare against the paper reference; exit\n"
+    "                     non-zero iff any artifact deviates beyond\n"
+    "                     tolerance (or fails to run)\n"
+    "  --reference PATH   paper reference JSON (default: search\n"
+    "                     data/paper_reference.json, then\n"
+    "                     ../data/paper_reference.json)\n"
+    "  --markdown PATH    Markdown report (default: docs/RESULTS.md;\n"
+    "                     'none' skips)\n"
+    "  --json PATH        JSON report (default: report.json;\n"
+    "                     'none' skips)\n"
+    "  --csv PATH         also write one metric per row as CSV\n"
+    "  --dry-run          validate flags and study names, run nothing\n"
+    "  --help             this text\n";
+
+ReportArgs
+parseReportArgs(const std::vector<std::string> &args)
+{
+    ReportArgs a;
+    auto fail = [&](const std::string &why) {
+        a.error = why;
+        return a;
+    };
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        auto value = [&](std::string &out) {
+            if (i + 1 >= args.size())
+                return false;
+            out = args[++i];
+            return true;
+        };
+        std::string v;
+        if (arg == "--help" || arg == "-h") {
+            a.help = true;
+        } else if (arg == "--list") {
+            a.list = true;
+        } else if (arg == "--all") {
+            a.all = true;
+        } else if (arg == "--check") {
+            a.check = true;
+        } else if (arg == "--dry-run") {
+            a.dry_run = true;
+        } else if (arg == "--study") {
+            if (!value(v))
+                return fail("--study requires a name (see --list)");
+            a.studies.push_back(v);
+        } else if (arg == "--preset") {
+            if (!value(v) || (v != "quick" && v != "full"))
+                return fail("--preset requires quick|full");
+            a.preset = v;
+        } else if (arg == "--scale") {
+            if (!value(v))
+                return fail("--scale requires a positive number");
+            try {
+                a.scale = std::stod(v);
+            } catch (const std::exception &) {
+                a.scale = 0.0;
+            }
+            if (a.scale <= 0)
+                return fail("--scale requires a positive number");
+        } else if (arg == "--tiles") {
+            if (!value(v))
+                return fail("--tiles requires a positive integer");
+            a.tiles = std::atoi(v.c_str());
+            if (a.tiles < 1)
+                return fail("--tiles requires a positive integer");
+        } else if (arg == "--iterations") {
+            if (!value(v))
+                return fail("--iterations requires a positive integer");
+            a.iterations = std::atoi(v.c_str());
+            if (a.iterations < 1)
+                return fail("--iterations requires a positive integer");
+        } else if (arg == "--jobs") {
+            if (!value(v))
+                return fail("--jobs requires a non-negative integer");
+            a.jobs = std::atoi(v.c_str());
+            if (a.jobs < 0 || (a.jobs == 0 && v != "0"))
+                return fail("--jobs requires a non-negative integer");
+        } else if (arg == "--reference") {
+            if (!value(v))
+                return fail("--reference requires a path");
+            a.reference = v;
+        } else if (arg == "--markdown") {
+            if (!value(v))
+                return fail("--markdown requires a path");
+            a.markdown = v;
+        } else if (arg == "--json") {
+            if (!value(v))
+                return fail("--json requires a path");
+            a.json = v;
+        } else if (arg == "--csv") {
+            if (!value(v))
+                return fail("--csv requires a path");
+            a.csv = v;
+        } else {
+            return fail("unknown flag '" + arg + "' (see --help)");
+        }
+    }
+    if (!a.help && !a.list && !a.all && a.studies.empty())
+        return fail("nothing to run: pass --all or --study NAME "
+                    "(see --list)");
+    return a;
+}
+
+std::string
+listStudies()
+{
+    std::string out = "Registered studies (paper order):\n";
+    for (const auto &s : allStudies()) {
+        out += "  " + s.name;
+        out += std::string(s.name.size() < 18 ? 18 - s.name.size() : 1,
+                           ' ');
+        out += s.artifact + ": " + s.title + "\n";
+    }
+    return out;
+}
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path);
+    if (out)
+        out << content;
+    out.close();
+    if (!out) {
+        std::cerr << "capstan-report: failed writing '" << path
+                  << "'\n";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ReportArgs args =
+        parseReportArgs(std::vector<std::string>(argv + 1, argv + argc));
+    if (!args.error.empty()) {
+        std::cerr << "capstan-report: " << args.error << "\n";
+        return 2;
+    }
+    if (args.help) {
+        std::cout << kUsage;
+        return 0;
+    }
+    if (args.list) {
+        std::cout << listStudies();
+        return 0;
+    }
+
+    // Resolve the study selection.
+    std::vector<const Study *> selected;
+    if (args.all) {
+        for (const auto &s : allStudies())
+            selected.push_back(&s);
+    }
+    for (const auto &name : args.studies) {
+        const Study *s = findStudy(name);
+        if (!s) {
+            std::cerr << "capstan-report: unknown study '" << name
+                      << "' (see --list)\n";
+            return 2;
+        }
+        if (!args.all)
+            selected.push_back(s);
+    }
+
+    if (args.dry_run) {
+        std::cout << "capstan-report: dry run ok (" << selected.size()
+                  << " studies)\n";
+        return 0;
+    }
+
+    // Presets: quick mirrors the bench_smoke scales (and is what the
+    // reference tolerances are calibrated against); full mirrors the
+    // bench defaults.
+    ReportMeta meta;
+    meta.preset = args.preset;
+    meta.checked = args.check;
+    if (args.preset == "quick") {
+        meta.knobs.scale_mult = 0.02;
+        meta.knobs.tiles = 4;
+        meta.knobs.iterations = 1;
+    } else {
+        meta.knobs.scale_mult = 1.0;
+        meta.knobs.tiles = 16;
+        meta.knobs.iterations = 2;
+    }
+    if (args.scale > 0)
+        meta.knobs.scale_mult = args.scale;
+    if (args.tiles > 0)
+        meta.knobs.tiles = args.tiles;
+    if (args.iterations > 0)
+        meta.knobs.iterations = args.iterations;
+
+    // Load the paper reference: an explicit path must parse; the
+    // default search tolerates absence (studies then print plain
+    // "ours" cells) unless --check needs it.
+    Reference reference;
+    bool have_reference = false;
+    try {
+        if (!args.reference.empty()) {
+            reference = Reference::fromFile(args.reference);
+            have_reference = true;
+        } else {
+            for (const std::string &path :
+                 {std::string("data/paper_reference.json"),
+                  std::string("../data/paper_reference.json")}) {
+                std::ifstream probe(path);
+                if (!probe)
+                    continue;
+                reference = Reference::fromFile(path);
+                have_reference = true;
+                break;
+            }
+        }
+    } catch (const std::exception &e) {
+        std::cerr << "capstan-report: " << e.what() << "\n";
+        return 2;
+    }
+    if (args.check && !have_reference) {
+        std::cerr << "capstan-report: --check needs a paper reference "
+                     "(pass --reference data/paper_reference.json)\n";
+        return 2;
+    }
+
+    StudyContext ctx;
+    ctx.knobs = meta.knobs;
+    ctx.jobs = args.jobs;
+    ctx.reference = have_reference ? &reference : nullptr;
+
+    std::vector<StudyRun> runs;
+    for (const Study *study : selected) {
+        std::fprintf(stderr, "capstan-report: running %s (%s)...\n",
+                     study->name.c_str(), study->artifact.c_str());
+        StudyRun run;
+        run.study = study;
+        try {
+            run.result = study->run(ctx);
+            run.ok = true;
+            if (have_reference)
+                run.check = reference.check(study->name,
+                                            run.result.metrics);
+        } catch (const std::exception &e) {
+            run.error = e.what();
+        }
+        std::fprintf(stderr, "capstan-report:   %s: %s\n",
+                     study->name.c_str(), run.verdict().c_str());
+        runs.push_back(std::move(run));
+    }
+
+    bool wrote = true;
+    if (args.markdown != "none")
+        wrote &= writeFile(args.markdown, renderMarkdown(runs, meta));
+    if (args.json != "none")
+        wrote &= writeFile(
+            args.json, reportToJson(runs, meta).dump(2) + "\n");
+    if (!args.csv.empty())
+        wrote &= writeFile(
+            args.csv,
+            renderCsv(runs, have_reference ? &reference : nullptr));
+    if (!wrote)
+        return 1;
+
+    // Summary + exit status.
+    std::size_t errors = 0, deviations = 0;
+    for (const auto &run : runs) {
+        errors += run.ok ? 0 : 1;
+        deviations += run.check.deviations.size();
+        std::printf("%-18s %-12s %s", run.study->name.c_str(),
+                    run.study->artifact.c_str(),
+                    run.verdict().c_str());
+        if (run.check.checked > 0)
+            std::printf(" (%zu/%zu checked metrics)",
+                        run.check.passed, run.check.checked);
+        std::printf("\n");
+    }
+    if (errors > 0) {
+        std::printf("%zu stud%s failed to run\n", errors,
+                    errors == 1 ? "y" : "ies");
+        return 1;
+    }
+    if (args.check && deviations > 0) {
+        std::printf("%zu checked metric%s deviated beyond tolerance "
+                    "(see the report)\n",
+                    deviations, deviations == 1 ? "" : "s");
+        return 1;
+    }
+    return 0;
+}

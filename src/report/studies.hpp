@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Internal: the per-artifact study functions study.cpp registers.
+ * Component-level studies (direct hardware-model stepping) live in
+ * studies_components.cpp; application-level studies (driver sweeps)
+ * live in studies_perf.cpp.
+ */
+
+#ifndef CAPSTAN_REPORT_STUDIES_HPP
+#define CAPSTAN_REPORT_STUDIES_HPP
+
+#include "report/study.hpp"
+
+namespace capstan::report {
+
+// studies_components.cpp
+StudyResult runTable4(const StudyContext &ctx);
+StudyResult runTable5(const StudyContext &ctx);
+StudyResult runTable8(const StudyContext &ctx);
+StudyResult runFig4(const StudyContext &ctx);
+StudyResult runMicroComponents(const StudyContext &ctx);
+
+// studies_perf.cpp
+StudyResult runTable9(const StudyContext &ctx);
+StudyResult runTable10(const StudyContext &ctx);
+StudyResult runTable11(const StudyContext &ctx);
+StudyResult runTable12(const StudyContext &ctx);
+StudyResult runTable13(const StudyContext &ctx);
+StudyResult runFig5(const StudyContext &ctx);
+StudyResult runFig6(const StudyContext &ctx);
+StudyResult runFig7(const StudyContext &ctx);
+
+} // namespace capstan::report
+
+#endif // CAPSTAN_REPORT_STUDIES_HPP

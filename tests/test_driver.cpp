@@ -81,6 +81,36 @@ TEST(DriverOptions, ParsesWorkloadAndMachineFlags)
     EXPECT_EQ(o.output, "/tmp/stats.json");
 }
 
+TEST(DriverOptions, ScannerGeometryKeysComposeIntoConfig)
+{
+    ParseResult r = parseArgs({"--scan-bits", "64", "--scan-outputs",
+                               "4", "--scan-data-elems", "8"});
+    ASSERT_TRUE(r.ok()) << r.error;
+    ASSERT_TRUE(r.options.scan_bits.has_value());
+    EXPECT_EQ(*r.options.scan_bits, 64);
+    sim::CapstanConfig cfg = buildConfig(r.options);
+    EXPECT_EQ(cfg.scanner.window_bits, 64);
+    EXPECT_EQ(cfg.scanner.outputs, 4);
+    EXPECT_EQ(cfg.scanner.data_elements, 8);
+    // Defaults stay at the Table 7 design point when unset.
+    sim::CapstanConfig base = buildConfig(parseArgs({}).options);
+    EXPECT_EQ(base.scanner.window_bits, 256);
+    EXPECT_EQ(base.scanner.outputs, 16);
+    EXPECT_EQ(base.scanner.data_elements, 16);
+
+    EXPECT_FALSE(parseArgs({"--scan-bits", "0"}).ok());
+    EXPECT_FALSE(parseArgs({"--scan-outputs", "-1"}).ok());
+    EXPECT_FALSE(parseArgs({"--scan-data-elems", "x"}).ok());
+}
+
+TEST(DriverOptions, DryRunFlagParses)
+{
+    EXPECT_FALSE(parseArgs({}).options.dry_run);
+    ParseResult r = parseArgs({"--dry-run", "--app", "spmv"});
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_TRUE(r.options.dry_run);
+}
+
 TEST(DriverOptions, CompactImpliesJson)
 {
     ParseResult r = parseArgs({"--compact"});
