@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# perf_smoke: guard the simulation hot path's wall-clock.
+#
+# Times `capstan-report --all --preset quick --check` (the whole paper
+# reproduction at bench-smoke scales, single-threaded so the number
+# tracks the stepping engine rather than the host's core count) and
+# fails when it regresses more than 2x against the reference recorded
+# in BENCH_sweep.json — the value measured with the fast-forward
+# stepping engine. The 2x headroom absorbs CI-runner noise; a real hot
+# path regression (losing fast-forward coverage, reintroducing
+# per-token allocation) blows well past it.
+#
+# Usage: perf_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+build_dir="${1:-build}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+ref_ms=$(python3 - "$repo_root/BENCH_sweep.json" <<'EOF'
+import json
+import sys
+
+doc = json.load(open(sys.argv[1]))
+for bench in doc["benchmarks"]:
+    if bench.get("benchmark", "").startswith("report_quick"):
+        print(int(bench["measurements"][-1]["wall_ms"]["jobs_1"]))
+        break
+else:
+    sys.exit("BENCH_sweep.json has no report_quick benchmark")
+EOF
+)
+
+start_ns=$(date +%s%N)
+"$build_dir/capstan-report" --all --preset quick --check --jobs 1 \
+    --reference "$repo_root/data/paper_reference.json" \
+    --markdown none --json none >/dev/null
+end_ns=$(date +%s%N)
+
+ms=$(((end_ns - start_ns) / 1000000))
+budget_ms=$((ref_ms * 2))
+echo "perf_smoke: ${ms} ms (reference ${ref_ms} ms, budget ${budget_ms} ms)"
+if [ "$ms" -gt "$budget_ms" ]; then
+    echo "perf_smoke: FAIL — quick report wall-clock regressed >2x" \
+         "against BENCH_sweep.json" >&2
+    exit 1
+fi

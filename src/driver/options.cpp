@@ -130,6 +130,21 @@ parseMerge(const std::string &v, sim::MergeMode &out)
 }
 
 bool
+parseBool(const std::string &v, bool &out)
+{
+    std::string n = lower(v);
+    if (n == "true" || n == "on" || n == "1" || n == "yes")
+        out = true;
+    else if (n == "false" || n == "off" || n == "0" || n == "no")
+        out = false;
+    else
+        return false;
+    return true;
+}
+
+} // namespace
+
+bool
 parseNumber(const std::string &v, double &out)
 {
     char *end = nullptr;
@@ -150,21 +165,6 @@ parseInt(const std::string &v, int &out)
     out = static_cast<int>(d);
     return true;
 }
-
-bool
-parseBool(const std::string &v, bool &out)
-{
-    std::string n = lower(v);
-    if (n == "true" || n == "on" || n == "1" || n == "yes")
-        out = true;
-    else if (n == "false" || n == "off" || n == "0" || n == "no")
-        out = false;
-    else
-        return false;
-    return true;
-}
-
-} // namespace
 
 const std::vector<std::string> &
 optionKeys()

@@ -99,6 +99,19 @@ std::string defaultDataset(const std::string &canonical_app);
 ParseResult parseArgs(const std::vector<std::string> &args);
 
 /**
+ * Strictly parse a finite decimal number: the whole string must
+ * consume (no trailing garbage, so "4x" and "" fail). Never throws.
+ * This is the single numeric-validation path shared by every CLI
+ * (`capstan-run`, `capstan-sweep`, `capstan-report`) and by sweep-axis
+ * expansion, so a bad value always produces a usage error instead of a
+ * crash or a silent zero.
+ */
+bool parseNumber(const std::string &value, double &out);
+
+/** Strictly parse an integer (see parseNumber); rejects fractions. */
+bool parseInt(const std::string &value, int &out);
+
+/**
  * The run-defining option keys settable by name: "app", "dataset",
  * "scale", "tiles", "iterations", "config", "memtech", "ordering",
  * "merge", "hash", "allocator", "queue-depth", "bandwidth-gbps",

@@ -117,7 +117,13 @@ std::vector<SweepPointResult>
 runSweep(const std::vector<DriverOptions> &points, int jobs = 0,
          const SweepProgress &progress = {});
 
-/** Worker-thread count a jobs value resolves to (0 = all cores). */
+/**
+ * Worker-thread count a `--jobs` value resolves to. The contract is
+ * shared by every entry point (`capstan-run`, `capstan-sweep`,
+ * `capstan-report`): negative values are rejected at parse time with a
+ * usage error, and 0 (the default) clamps to
+ * std::thread::hardware_concurrency() here (1 if unknown).
+ */
 int resolveJobs(int jobs);
 
 /**

@@ -3,13 +3,11 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <cstdlib>
 
 namespace capstan::lang {
 
 namespace {
-
-/** Inter-stage buffering (tokens); deep enough to hide DRAM latency. */
-constexpr std::size_t kQueueCap = 128;
 
 int
 portCount(int tiles)
@@ -43,6 +41,7 @@ Machine::Machine(const CapstanConfig &cfg, int tiles)
     // tracking: every atomic round-trips to DRAM individually.
     int ag_entries = cfg.sparse_support ? 64 : 1;
     ag_busy_until_.assign(tiles, 0);
+    stall_base_.assign(tiles, 0);
     for (int t = 0; t < tiles; ++t) {
         spmus_.push_back(
             std::make_unique<sim::SparseMemoryUnit>(cfg.spmu));
@@ -57,6 +56,7 @@ Machine::addStage(int tile, const StageSpec &spec)
     assert(tile >= 0 && tile < tiles());
     Stage st;
     st.spec = spec;
+    any_reduce_ = any_reduce_ || spec.kind == StageKind::Reduce;
     tiles_[tile].stages.push_back(std::move(st));
     return static_cast<int>(tiles_[tile].stages.size()) - 1;
 }
@@ -128,6 +128,7 @@ Machine::advance(int t, int s, Token token, Cycle extra_latency)
 {
     Tile &tile = tiles_[t];
     tile.last_active = now_;
+    cycle_progress_ = true;
     token.ready_at = now_ + extra_latency + cfg_.network_hop_latency;
     if (s + 1 < static_cast<int>(tile.stages.size()))
         tile.stages[s + 1].in.push_back(token);
@@ -180,6 +181,7 @@ Machine::stepTile(int t)
             Token tok = st.in.front();
             st.in.pop_front();
             tile.last_active = now_;
+            cycle_progress_ = true;
             ++st.tokens_out;
             ++totals_.tokens;
             // Lane-occupancy stats are taken at the loop body (the
@@ -217,6 +219,11 @@ Machine::stepTile(int t)
                 --st.scan_skip_remaining;
                 totals_.scan_empty_cycles += 1;
                 tile.last_active = now_;
+                // Finishing the burn is an event: next cycle this stage
+                // can consume again (or unblock a reduction flush), so
+                // the fast-forward engine must not jump over it.
+                if (st.scan_skip_remaining == 0 && st.scan_occupied == 0)
+                    cycle_progress_ = true;
                 break;
             }
             if (st.scan_occupied > 0) {
@@ -224,6 +231,8 @@ Machine::stepTile(int t)
                 // (or a slow data-scan sweep): busy, not a Scan stall.
                 --st.scan_occupied;
                 tile.last_active = now_;
+                if (st.scan_occupied == 0)
+                    cycle_progress_ = true;
                 break;
             }
             if (st.in.empty() || st.in.front().ready_at > now_ ||
@@ -232,6 +241,7 @@ Machine::stepTile(int t)
             }
             Token tok = st.in.front();
             st.in.pop_front();
+            cycle_progress_ = true;
             // Empty windows preceding this token cost a cycle each.
             if (tok.scan_skip > 0)
                 st.scan_skip_remaining += tok.scan_skip;
@@ -278,6 +288,7 @@ Machine::stepTile(int t)
             pending_[av.id] = Pending{t, s, tok, 1};
             st.in.pop_front();
             tile.last_active = now_;
+            cycle_progress_ = true;
             break;
           }
           case StageKind::SpmuCross: {
@@ -323,6 +334,7 @@ Machine::stepTile(int t)
                 pending_[av.id] = Pending{t, s, tok, parts, 0};
                 st.in.pop_front();
                 tile.last_active = now_;
+                cycle_progress_ = true;
                 break;
             }
             if (cfg_.shuffle.mode == sim::MergeMode::None) {
@@ -371,6 +383,7 @@ Machine::stepTile(int t)
                     pending_[av.id] = p;
                     st.in.pop_front();
                     tile.last_active = now_;
+                    cycle_progress_ = true;
                 } else {
                     Token moved = tok;
                     st.in.pop_front();
@@ -407,6 +420,7 @@ Machine::stepTile(int t)
             pending_[uid] = Pending{t, s, tok, valid};
             st.in.pop_front();
             tile.last_active = now_;
+            cycle_progress_ = true;
             break;
           }
           case StageKind::DramStream: {
@@ -459,6 +473,7 @@ Machine::stepTile(int t)
             Token tok = st.in.front();
             st.in.pop_front();
             tile.last_active = now_;
+            cycle_progress_ = true;
             if (tok.end_group)
                 ++st.reduce_groups;
             if (st.reduce_groups >= cfg_.spmu.lanes) {
@@ -476,6 +491,11 @@ Machine::stepTile(int t)
 PhaseStats
 Machine::runPhase(Cycle max_cycles)
 {
+    // Debugging escape hatch: CAPSTAN_NO_FF=1 forces dense one-cycle
+    // stepping. Results must be identical either way (the golden tests
+    // pin this); the env var exists to bisect any future divergence.
+    static const bool kDenseStepping =
+        std::getenv("CAPSTAN_NO_FF") != nullptr;
     Cycle start = now_;
     auto workRemains = [&]() -> bool {
         if (!pending_.empty() || !shuffle_.empty())
@@ -504,6 +524,13 @@ Machine::runPhase(Cycle max_cycles)
             assert(false && "Machine::runPhase exceeded watchdog");
             break;
         }
+
+        // Arm the progress detector: a cycle that consumes, issues, or
+        // delivers nothing (scanner burns and latency waits only) lets
+        // the machine fast-forward to the next event horizon below.
+        cycle_progress_ = false;
+        for (int t = 0; t < tiles(); ++t)
+            stall_base_[t] = spmus_[t]->stats().enqueue_stalls;
 
         for (int t = 0; t < tiles(); ++t)
             stepTile(t);
@@ -539,15 +566,20 @@ Machine::runPhase(Cycle max_cycles)
                     break;
                 cross_lanes_[av.id] = std::move(origin);
                 eject_hold_[p].pop_front();
+                cycle_progress_ = true;
             }
         }
 
         // SpMUs: advance and resolve completions.
         for (int t = 0; t < tiles(); ++t) {
             sim::SparseMemoryUnit &spmu = *spmus_[t];
+            std::uint64_t grants_before = spmu.stats().grants;
             if (!spmu.empty())
                 spmu.step();
+            if (spmu.stats().grants != grants_before)
+                cycle_progress_ = true;
             while (auto cv = spmu.tryDequeue()) {
+                cycle_progress_ = true;
                 auto cl = cross_lanes_.find(cv->id);
                 if (cl != cross_lanes_.end()) {
                     for (std::uint64_t uid : cl->second)
@@ -560,7 +592,7 @@ Machine::runPhase(Cycle max_cycles)
         }
 
         // Flush partially filled reductions once their upstream drained.
-        for (int t = 0; t < tiles(); ++t) {
+        for (int t = 0; any_reduce_ && t < tiles(); ++t) {
             Tile &tile = tiles_[t];
             for (int s = 0;
                  s < static_cast<int>(tile.stages.size()); ++s) {
@@ -593,6 +625,18 @@ Machine::runPhase(Cycle max_cycles)
         }
 
         ++now_;
+
+        if (!cycle_progress_ && !kDenseStepping) {
+            // Nothing observable happened: every cycle from here to the
+            // horizon would be identical. Jump straight to it (capped so
+            // the watchdog still fires at the same simulated cycle).
+            Cycle target = nextEventCycle();
+            if (target != sim::kNoEventCycle) {
+                target = std::min(target, start + max_cycles + 1);
+                if (target > now_)
+                    fastForwardTo(target);
+            }
+        }
     }
 
     PhaseStats ps;
@@ -614,6 +658,103 @@ Machine::runPhase(Cycle max_cycles)
     return ps;
 }
 
+Cycle
+Machine::nextEventCycle() const
+{
+    // A busy shuffle network pins the clock (its horizon is `now_`):
+    // vectors move every cycle, so never jump over it. (Network
+    // transits are a few cycles; the long waits this function exists
+    // for are DRAM latency and scanner burns.)
+    if (shuffle_.nextEventCycle(now_) != sim::kNoEventCycle)
+        return now_;
+
+    Cycle target = sim::kNoEventCycle;
+    for (const Tile &tile : tiles_) {
+        // A reduction holding a partial group can flush in the very
+        // iteration an upstream burn drains (reduce_groups only changes
+        // on progress, so this is frozen during a jump). In that case
+        // the final burn cycle must execute densely — the bulk replay
+        // would miss the same-iteration flush — so the burn horizon
+        // stops one cycle short of the burn's end.
+        bool pending_reduce = false;
+        if (any_reduce_) {
+            for (const Stage &st : tile.stages) {
+                if (st.spec.kind == StageKind::Reduce &&
+                    st.reduce_groups > 0) {
+                    pending_reduce = true;
+                    break;
+                }
+            }
+        }
+        for (const Stage &st : tile.stages) {
+            // A burning scanner reaches its next decision (consume the
+            // next window token, or unblock a reduction flush) once its
+            // skip and occupancy counters drain.
+            std::int64_t burn = st.scan_skip_remaining + st.scan_occupied;
+            if (burn > 0)
+                target = std::min(target,
+                                  now_ + static_cast<Cycle>(burn) -
+                                      (pending_reduce ? 1 : 0));
+            // A stage whose head token ripens in the future wakes then.
+            // Heads already ripe (ready_at < now_) are blocked on
+            // capacity and wake via whichever unit frees it.
+            if (!st.in.empty() && st.in.front().ready_at >= now_)
+                target = std::min(target, st.in.front().ready_at);
+        }
+    }
+    for (const auto &spmu : spmus_) {
+        if (spmu->empty())
+            continue;
+        // The SpMU horizon is on its local clock, which advances once
+        // per machine cycle while the unit is busy.
+        Cycle wake = spmu->nextEventCycle();
+        target = std::min(target, now_ + (wake - spmu->now()));
+    }
+    return target;
+}
+
+void
+Machine::fastForwardTo(Cycle target)
+{
+    Cycle skipped = target - now_;
+    for (Tile &tile : tiles_) {
+        for (Stage &st : tile.stages) {
+            if (st.scan_skip_remaining <= 0 && st.scan_occupied <= 0)
+                continue;
+            // Replay the per-cycle burn in bulk: empty windows first
+            // (one Scan-stall cycle each), then occupancy. The stage is
+            // "active" through its final burn cycle, exactly as the
+            // dense loop would have recorded.
+            auto budget = static_cast<std::int64_t>(skipped);
+            std::int64_t burn_skip =
+                std::min(budget, st.scan_skip_remaining);
+            st.scan_skip_remaining -= burn_skip;
+            totals_.scan_empty_cycles +=
+                static_cast<double>(burn_skip);
+            std::int64_t burn_occ =
+                std::min(budget - burn_skip, st.scan_occupied);
+            st.scan_occupied -= burn_occ;
+            std::int64_t burned = burn_skip + burn_occ;
+            if (burned > 0)
+                tile.last_active =
+                    std::max(tile.last_active,
+                             now_ + static_cast<Cycle>(burned) - 1);
+        }
+    }
+    // The shuffle network is drained (nextEventCycle() forbids jumping
+    // otherwise); an empty step only advances its cycle statistic.
+    shuffle_.skipCycles(skipped);
+    for (int t = 0; t < tiles(); ++t) {
+        // Refused enqueues retry (and re-count) every skipped cycle.
+        std::uint64_t stalls =
+            spmus_[t]->stats().enqueue_stalls - stall_base_[t];
+        Cycle busy = spmus_[t]->empty() ? 0 : skipped;
+        if (busy > 0 || stalls > 0)
+            spmus_[t]->skipCycles(busy, stalls * skipped);
+    }
+    now_ = target;
+}
+
 void
 Machine::resetChains()
 {
@@ -622,6 +763,7 @@ Machine::resetChains()
         tile.next_uid_seq = 0;
         tile.lane_count_stage = -1;
     }
+    any_reduce_ = false;
 }
 
 void

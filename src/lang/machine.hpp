@@ -10,6 +10,14 @@
  * run a *sequence of phases* (one per loop level or kernel); the machine
  * accumulates cycles and the stall statistics behind Fig. 7.
  *
+ * Stepping is cycle-exact but not cycle-by-cycle: when a cycle makes no
+ * observable progress (every stage is waiting on a token's ready_at, a
+ * scanner burn, or an in-flight memory access), the machine queries each
+ * unit's nextEventCycle() horizon and jumps straight to the minimum,
+ * attributing the skipped cycles to the same stall classes the dense
+ * loop would have (see docs/ARCHITECTURE.md, "Stepping engine"). Results
+ * and statistics are bit-identical to one-cycle-at-a-time stepping.
+ *
  * This mirrors the paper's methodology: a custom cycle-level simulator at
  * vector granularity with a loosely-timed network (Section 4).
  */
@@ -18,12 +26,12 @@
 #define CAPSTAN_LANG_MACHINE_HPP
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "lang/ring.hpp"
 #include "lang/token.hpp"
 #include "sim/config.hpp"
 #include "sim/dram.hpp"
@@ -35,6 +43,9 @@ namespace capstan::lang {
 
 using sim::CapstanConfig;
 using sim::Cycle;
+
+/** Inter-stage buffering (tokens); deep enough to hide DRAM latency. */
+constexpr std::size_t kQueueCap = 128;
 
 /** Pipeline-stage kinds a tile chain can contain. */
 enum class StageKind {
@@ -141,7 +152,7 @@ class Machine
     struct Stage
     {
         StageSpec spec;
-        std::deque<Token> in;
+        RingQueue<Token> in;
         // Scan state: zero windows left to traverse, busy cycles left.
         std::int64_t scan_skip_remaining = 0;
         std::int64_t scan_occupied = 0;
@@ -180,6 +191,26 @@ class Machine
     void deliverPending(std::uint64_t uid);
     std::uint64_t makeUid(int tile);
 
+    /**
+     * Earliest cycle >= now_ at which any stage or unit can do
+     * observable work (consume a token, issue a memory access, finish a
+     * scanner burn, complete a vector), or sim::kNoEventCycle when no
+     * time-triggered event is pending. Only meaningful right after a
+     * cycle that made no such progress: the machine state is then
+     * frozen except for clocks and burn counters, so every cycle before
+     * the returned horizon is provably identical.
+     */
+    Cycle nextEventCycle() const;
+
+    /**
+     * Jump the clock to @p target (a cycle <= nextEventCycle()),
+     * emulating the skipped cycles exactly: scanner skip/occupancy
+     * counters burn (attributed to the Scan stall class and to
+     * last_active), busy SpMUs and the shuffle clock advance, and
+     * refused enqueues replay into the stall statistics.
+     */
+    void fastForwardTo(Cycle target);
+
     CapstanConfig cfg_;
     sim::DramModel dram_;
     sim::ShuffleNetwork shuffle_;
@@ -194,7 +225,13 @@ class Machine
     std::unordered_map<std::uint64_t, std::vector<std::uint64_t>>
         cross_lanes_;
     /** Vectors ejected from the shuffle but refused by a busy SpMU. */
-    std::vector<std::deque<sim::ShuffleVector>> eject_hold_;
+    std::vector<RingQueue<sim::ShuffleVector>> eject_hold_;
+    /** Per-tile SpMU enqueue-stall count at the start of the cycle. */
+    std::vector<std::uint64_t> stall_base_;
+    /** Any chain has a Reduce stage (gates the per-cycle flush scan). */
+    bool any_reduce_ = false;
+    /** Whether the current cycle did observable work (gates jumps). */
+    bool cycle_progress_ = false;
     Cycle now_ = 0;
     std::uint64_t next_vec_id_ = 1;
     double stream_compression_ = 1.0;

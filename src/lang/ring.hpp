@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Ring-buffer FIFO for the stage pipeline's hot loop.
+ *
+ * The cycle-stepped executor moves millions of tokens through per-stage
+ * queues; std::deque allocates and frees a block every few pushes, which
+ * dominates the stall-stepping profile. RingQueue keeps elements in one
+ * power-of-two array indexed by free-running head/tail counters, so the
+ * steady state is allocation-free: inter-stage queues are bounded by the
+ * machine's backpressure cap (lang::kQueueCap) and stop growing after
+ * warm-up, and popped slots are reused in place (element buffers such as
+ * a ShuffleVector's path vector keep their capacity across reuse).
+ * Source queues (stage 0, filled by feed() before the phase runs) may
+ * grow past the cap; growth doubles the array and re-linearizes.
+ */
+
+#ifndef CAPSTAN_LANG_RING_HPP
+#define CAPSTAN_LANG_RING_HPP
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace capstan::lang {
+
+/** Growable power-of-two ring-buffer FIFO (single-ended queue). */
+template <typename T> class RingQueue
+{
+  public:
+    bool empty() const { return head_ == tail_; }
+
+    std::size_t size() const
+    {
+        return static_cast<std::size_t>(tail_ - head_);
+    }
+
+    /** Allocated element slots (diagnostics; 0 until the first push). */
+    std::size_t capacity() const { return buf_.size(); }
+
+    T &front()
+    {
+        assert(!empty());
+        return buf_[head_ & mask_];
+    }
+    const T &front() const
+    {
+        assert(!empty());
+        return buf_[head_ & mask_];
+    }
+
+    void push_back(T v)
+    {
+        if (size() == buf_.size())
+            grow();
+        buf_[tail_++ & mask_] = std::move(v);
+    }
+
+    /** Drop the front element; its slot (and buffers) are reused. */
+    void pop_front()
+    {
+        assert(!empty());
+        ++head_;
+    }
+
+    void clear() { head_ = tail_ = 0; }
+
+  private:
+    /** First allocation; deep enough for most inter-stage bursts. */
+    static constexpr std::size_t kInitialCapacity = 16;
+
+    void grow()
+    {
+        std::size_t cap =
+            buf_.empty() ? kInitialCapacity : buf_.size() * 2;
+        std::vector<T> next(cap);
+        std::size_t n = size();
+        for (std::size_t i = 0; i < n; ++i)
+            next[i] = std::move(buf_[(head_ + i) & mask_]);
+        buf_ = std::move(next);
+        head_ = 0;
+        tail_ = n;
+        mask_ = cap - 1;
+    }
+
+    std::vector<T> buf_;
+    std::uint64_t head_ = 0;
+    std::uint64_t tail_ = 0;
+    std::uint64_t mask_ = 0;
+};
+
+} // namespace capstan::lang
+
+#endif // CAPSTAN_LANG_RING_HPP

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "driver/options.hpp"
 #include "report/catalog.hpp"
 #include "report/render.hpp"
 #include "report/study.hpp"
@@ -119,32 +120,27 @@ parseReportArgs(const std::vector<std::string> &args)
                 return fail("--preset requires quick|full");
             a.preset = v;
         } else if (arg == "--scale") {
-            if (!value(v))
-                return fail("--scale requires a positive number");
-            try {
-                a.scale = std::stod(v);
-            } catch (const std::exception &) {
-                a.scale = 0.0;
-            }
-            if (a.scale <= 0)
+            // Numeric flags go through the driver's strict parse
+            // helpers (driver/options.hpp): "foo" or "4x" is a usage
+            // error, never an uncaught exception or a silent zero.
+            if (!value(v) || !capstan::driver::parseNumber(v, a.scale) ||
+                a.scale <= 0)
                 return fail("--scale requires a positive number");
         } else if (arg == "--tiles") {
-            if (!value(v))
-                return fail("--tiles requires a positive integer");
-            a.tiles = std::atoi(v.c_str());
-            if (a.tiles < 1)
+            if (!value(v) || !capstan::driver::parseInt(v, a.tiles) ||
+                a.tiles < 1)
                 return fail("--tiles requires a positive integer");
         } else if (arg == "--iterations") {
-            if (!value(v))
-                return fail("--iterations requires a positive integer");
-            a.iterations = std::atoi(v.c_str());
-            if (a.iterations < 1)
+            if (!value(v) ||
+                !capstan::driver::parseInt(v, a.iterations) ||
+                a.iterations < 1)
                 return fail("--iterations requires a positive integer");
         } else if (arg == "--jobs") {
-            if (!value(v))
-                return fail("--jobs requires a non-negative integer");
-            a.jobs = std::atoi(v.c_str());
-            if (a.jobs < 0 || (a.jobs == 0 && v != "0"))
+            // Same contract as capstan-run/capstan-sweep: negative is
+            // rejected here; 0 (the default) means "all cores" and is
+            // resolved by driver::resolveJobs() inside the sweep pool.
+            if (!value(v) || !capstan::driver::parseInt(v, a.jobs) ||
+                a.jobs < 0)
                 return fail("--jobs requires a non-negative integer");
         } else if (arg == "--reference") {
             if (!value(v))

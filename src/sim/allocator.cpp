@@ -26,6 +26,7 @@ SeparableAllocator::allocate(
         const RequestMatrix &req =
             iter_requests[std::min<std::size_t>(iter,
                                                 iter_requests.size() - 1)];
+        int grants_before = result.grant_count;
 
         // Stage 1: each ungranted lane picks its lowest-index requested
         // bank that is still free (fixed-priority arbiter per lane).
@@ -58,6 +59,14 @@ SeparableAllocator::allocate(
             ++result.grant_count;
             taken_banks |= 1u << b;
             granted_lanes |= 1u << l;
+        }
+
+        // A zero-grant iteration over the final request matrix is a
+        // fixed point: later iterations see the same requests and the
+        // same taken/granted state, so they grant nothing either.
+        if (result.grant_count == grants_before &&
+            iter + 1 >= static_cast<int>(iter_requests.size())) {
+            break;
         }
     }
     return result;

@@ -22,6 +22,13 @@ namespace capstan::sim {
 /** Simulation time, in core clock cycles (1.6 GHz by default). */
 using Cycle = std::uint64_t;
 
+/**
+ * Sentinel returned by the units' nextEventCycle() horizons when no
+ * future event is pending (the unit is drained or stateless). The
+ * fast-forward engine (lang::Machine) treats it as "no constraint".
+ */
+constexpr Cycle kNoEventCycle = ~Cycle{0};
+
 /** Maximum SIMD lanes per compute/memory unit; Table 7 fixes l = 16. */
 constexpr int kMaxLanes = 16;
 

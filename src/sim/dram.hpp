@@ -78,6 +78,16 @@ class DramModel
     const DramStats &stats() const { return stats_; }
     void resetStats() { stats_ = DramStats{}; }
 
+    /**
+     * Event horizon for the fast-forward engine. The DRAM model is
+     * passive — requests are submitted with an explicit cycle and the
+     * latency is materialized in the returned completion time — so it
+     * never forces the machine to step: the horizon is the earliest
+     * cycle a busy channel frees (informational), or kNoEventCycle when
+     * every channel is already free at @p now.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
   private:
     struct BankState
     {
@@ -120,6 +130,15 @@ class AddressGenerator
     std::uint64_t coalescedHits() const { return hits_; }
     std::uint64_t fetches() const { return fetches_; }
     std::uint64_t writebacks() const { return writebacks_; }
+
+    /**
+     * Event horizon for the fast-forward engine: the earliest cycle
+     * after @p now at which a tracked burst arrives or an outstanding
+     * writeback completes, or kNoEventCycle when nothing is in flight.
+     * Like the DRAM model, the AG is passive (atomicVector() is called
+     * with an explicit cycle), so this is informational.
+     */
+    Cycle nextEventCycle(Cycle now) const;
 
   private:
     struct BurstEntry

@@ -69,6 +69,7 @@ ShuffleNetwork::tryInject(int port, const ShuffleVector &v)
     if (ch.fifo.size() >= kChannelDepth)
         return false;
     ch.fifo.push_back(v);
+    ++live_;
     ++stats_.injected;
     return true;
 }
@@ -123,6 +124,8 @@ void
 ShuffleNetwork::step()
 {
     ++stats_.cycles;
+    if (live_ == 0)
+        return; // Nothing buffered between stages: stepping moves nothing.
     // Walk stages from last to first so a vector advances one stage per
     // cycle (moving the later stages first frees room for earlier ones).
     for (int s = stages_ - 1; s >= 0; --s) {
@@ -210,8 +213,10 @@ ShuffleNetwork::step()
 
                 // Commit: consume inputs, emit outputs.
                 for (int i = 0; i < 2; ++i) {
-                    if (have[i])
+                    if (have[i]) {
                         ins[i]->fifo.pop_front();
+                        --live_;
+                    }
                 }
                 auto emit = [&](std::vector<ShuffleVector> &vs, int port) {
                     for (ShuffleVector &v : vs) {
@@ -224,6 +229,7 @@ ShuffleNetwork::step()
                         } else {
                             channels_[s + 1][port].fifo.push_back(
                                 std::move(v));
+                            ++live_;
                         }
                     }
                 };

@@ -78,6 +78,24 @@ class ShuffleNetwork
     /** Advance one cycle: each stage moves/merges/splits vectors. */
     void step();
 
+    /**
+     * Event horizon for the fast-forward engine: a busy network must be
+     * stepped every cycle (vectors move, merge, or serialize each step),
+     * so this returns @p now while anything is buffered and
+     * kNoEventCycle once the network has drained.
+     */
+    Cycle nextEventCycle(Cycle now) const
+    {
+        return empty() ? kNoEventCycle : now;
+    }
+
+    /**
+     * Stand in for @p cycles step() calls on a drained network: only the
+     * cycle statistic advances (an empty step moves nothing). Only legal
+     * while empty().
+     */
+    void skipCycles(Cycle cycles) { stats_.cycles += cycles; }
+
     /** Pop a delivered vector at output @p port, if any. */
     std::optional<ShuffleVector> tryEject(int port);
 
@@ -140,6 +158,8 @@ class ShuffleNetwork
                        std::vector<std::pair<std::int8_t, std::int8_t>>>
         paths_;
     ShuffleStats stats_;
+    /** Vectors buffered between stages; 0 makes step() an O(1) no-op. */
+    int live_ = 0;
     bool auto_retire_ = true;
     std::uint64_t next_merged_id_ = 1ull << 48;
 };

@@ -103,30 +103,44 @@ SparseMemoryUnit::buildSlots(const AccessVector &av) const
     slots.back().av.id = av.id;
     slots.back().dup_of.fill(-1);
 
-    // addr -> part index of the last access touching it.
-    std::unordered_map<std::uint32_t, int> last_part;
-    // addr -> lane of the part-0 read usable as an elision master.
-    std::unordered_map<std::uint32_t, int> read_master;
+    // Per distinct address (at most one per lane): the part index of
+    // the last access touching it, and the lane of a part-0 read usable
+    // as an elision master (-1 if none). A linear scan over <= 16
+    // entries beats a hash map on this hot path.
+    struct SeenAddr
+    {
+        std::uint32_t addr;
+        int last_part;
+        int master_lane;
+    };
+    std::array<SeenAddr, kMaxLanes> seen;
+    int n_seen = 0;
 
     for (int l = 0; l < cfg_.lanes; ++l) {
         const LaneRequest &lr = av.lane[l];
         if (!lr.valid)
             continue;
-        auto it = last_part.find(lr.addr);
-        if (it == last_part.end()) {
+        SeenAddr *sa = nullptr;
+        for (int i = 0; i < n_seen; ++i) {
+            if (seen[i].addr == lr.addr) {
+                sa = &seen[i];
+                break;
+            }
+        }
+        if (sa == nullptr) {
             slots[0].av.lane[l] = lr;
-            last_part[lr.addr] = 0;
-            if (capstan_mode && isReadOnly(lr.op))
-                read_master[lr.addr] = l;
+            seen[n_seen++] = {
+                lr.addr, 0,
+                capstan_mode && isReadOnly(lr.op) ? l : -1};
             continue;
         }
         // Repeated-read elision: only legal when every prior access to
         // this address is the part-0 read (no intervening write).
-        auto rm = read_master.find(lr.addr);
-        if (capstan_mode && isReadOnly(lr.op) && rm != read_master.end() &&
-            it->second == 0) {
+        if (capstan_mode && isReadOnly(lr.op) && sa->master_lane >= 0 &&
+            sa->last_part == 0) {
             slots[0].av.lane[l] = lr;
-            slots[0].dup_of[l] = static_cast<std::int8_t>(rm->second);
+            slots[0].dup_of[l] =
+                static_cast<std::int8_t>(sa->master_lane);
             continue;
         }
         if (!split_mode) {
@@ -137,18 +151,23 @@ SparseMemoryUnit::buildSlots(const AccessVector &av) const
         }
         // Address-ordered: defer to the part after the last one touching
         // this address, so same-address accesses keep program order.
-        int part = it->second + 1;
+        int part = sa->last_part + 1;
         while (static_cast<int>(slots.size()) <= part) {
             slots.emplace_back();
             slots.back().av.id = av.id;
             slots.back().dup_of.fill(-1);
         }
         slots[part].av.lane[l] = lr;
-        it->second = part;
+        sa->last_part = part;
     }
 
     for (Slot &slot : slots) {
         for (int l = 0; l < cfg_.lanes; ++l) {
+            if (slot.av.lane[l].valid) {
+                slot.bank[l] = static_cast<std::int8_t>(
+                    bankOf(slot.av.lane[l].addr));
+                slot.bank_bit[l] = 1u << slot.bank[l];
+            }
             if (slot.av.lane[l].valid && slot.dup_of[l] < 0) {
                 slot.pending |= static_cast<std::uint16_t>(1u << l);
                 // Plasticine RMW handicap: modifications need a second
@@ -159,6 +178,7 @@ SparseMemoryUnit::buildSlots(const AccessVector &av) const
             }
         }
     }
+    slots[0].sole = slots.size() == 1;
     return slots;
 }
 
@@ -189,9 +209,13 @@ SparseMemoryUnit::tryEnqueue(const AccessVector &av)
         }
     }
 
-    MergeState &merge = merge_[av.id];
-    merge.remaining = static_cast<int>(slots.size());
-    merge.acc.id = av.id;
+    // Unsplit vectors (the common case) complete straight out of their
+    // slot; only split vectors need a cross-part merge record.
+    if (!slots[0].sole) {
+        MergeState &merge = merge_[av.id];
+        merge.remaining = static_cast<int>(slots.size());
+        merge.acc.id = av.id;
+    }
 
     for (Slot &slot : slots) {
         slot.enqueued_at = now_;
@@ -293,27 +317,24 @@ SparseMemoryUnit::priorityWindow(int iter) const
     return d;
 }
 
-RequestMatrix
-SparseMemoryUnit::buildRequests(int window) const
+void
+SparseMemoryUnit::addSlotRequests(RequestMatrix &req, int s) const
 {
-    RequestMatrix req{};
-    req.fill(0);
-    int limit = std::min<int>(window, static_cast<int>(queue_.size()));
-    for (int s = 0; s < limit; ++s) {
-        const Slot &slot = queue_[s];
-        if (slot.pending == 0)
-            continue;
-        // With input speedup k, slot parity selects the virtual lane
-        // group, modelling the banked input queue.
-        int group = (cfg_.input_speedup > 1) ? (s % cfg_.input_speedup) : 0;
-        for (int l = 0; l < cfg_.lanes; ++l) {
-            if (slot.pending & (1u << l)) {
-                int vlane = group * cfg_.lanes + l;
-                req[vlane] |= 1u << bankOf(slot.av.lane[l].addr);
-            }
-        }
+    const Slot &slot = queue_[s];
+    std::uint32_t p = slot.pending;
+    if (p == 0)
+        return;
+    // With input speedup k, slot parity selects the virtual lane
+    // group, modelling the banked input queue.
+    int base = (cfg_.input_speedup > 1)
+                   ? (s % cfg_.input_speedup) * cfg_.lanes
+                   : 0;
+    // Iterate set pending bits only.
+    while (p != 0) {
+        int l = std::countr_zero(p);
+        p &= p - 1;
+        req[base + l] |= slot.bank_bit[l];
     }
-    return req;
 }
 
 void
@@ -322,13 +343,28 @@ SparseMemoryUnit::allocateScheduled()
     if (queue_.empty())
         return;
     int iters = alloc_.iterations();
-    std::vector<RequestMatrix> mats;
-    mats.reserve(iters);
-    for (int i = 0; i < iters; ++i)
-        mats.push_back(buildRequests(
-            cfg_.allocator == AllocatorKind::Weak ? cfg_.queue_depth
-                                                  : priorityWindow(i)));
-    AllocResult res = alloc_.allocate(mats);
+    mats_scratch_.clear();
+    // The priority windows expand monotonically, so each iteration's
+    // matrix is the previous one plus the newly admitted slots. Once a
+    // window covers the whole queue every later matrix is identical,
+    // and the allocator reuses the last one (a common case: short
+    // queues collapse to a single matrix).
+    RequestMatrix acc{};
+    acc.fill(0);
+    int built = 0;
+    for (int i = 0; i < iters; ++i) {
+        int window = cfg_.allocator == AllocatorKind::Weak
+                         ? cfg_.queue_depth
+                         : priorityWindow(i);
+        int limit =
+            std::min<int>(window, static_cast<int>(queue_.size()));
+        for (; built < limit; ++built)
+            addSlotRequests(acc, built);
+        mats_scratch_.push_back(acc);
+        if (limit == static_cast<int>(queue_.size()))
+            break;
+    }
+    AllocResult res = alloc_.allocate(mats_scratch_);
     for (int v = 0; v < alloc_.lanes(); ++v) {
         int bank = res.bank_for_lane[v];
         if (bank < 0)
@@ -343,7 +379,7 @@ SparseMemoryUnit::allocateScheduled()
             }
             Slot &slot = queue_[s];
             if ((slot.pending & (1u << lane)) &&
-                bankOf(slot.av.lane[lane].addr) == bank) {
+                slot.bank[lane] == bank) {
                 issueLane(slot, lane, bank);
                 break;
             }
@@ -368,7 +404,7 @@ SparseMemoryUnit::allocateFullyOrdered()
                 continue;
             if (!(slot.pending & (1u << l)))
                 continue;
-            int bank = bankOf(slot.av.lane[l].addr);
+            int bank = slot.bank[l];
             if (banks_used & (1u << bank))
                 return; // Everything younger waits for next cycle.
             banks_used |= 1u << bank;
@@ -407,7 +443,7 @@ SparseMemoryUnit::allocateArbitrated()
         for (int l = 0; l < cfg_.lanes; ++l) {
             if (!(slot.pending & (1u << l)))
                 continue;
-            int bank = bankOf(slot.av.lane[l].addr);
+            int bank = slot.bank[l];
             if (banks_used & (1u << bank))
                 continue;
             banks_used |= 1u << bank;
@@ -427,7 +463,7 @@ SparseMemoryUnit::allocateIdeal()
     for (Slot &slot : queue_) {
         for (int l = 0; l < cfg_.lanes && budget > 0; ++l) {
             if (slot.pending & (1u << l)) {
-                issueLane(slot, l, bankOf(slot.av.lane[l].addr));
+                issueLane(slot, l, slot.bank[l]);
                 --budget;
             }
         }
@@ -467,6 +503,17 @@ SparseMemoryUnit::completeLanes()
         if (!head_complete)
             break;
 
+        if (head.sole) {
+            // Unsplit vector: complete directly from the slot.
+            CompletedVector cv;
+            cv.id = head.av.id;
+            cv.result = head.result;
+            cv.completed_at = now_;
+            ready_.push_back(std::move(cv));
+            ++stats_.vectors_out;
+            queue_.pop_front();
+            continue;
+        }
         // Fold this part into the merge record; emit once all parts of
         // the original vector have drained (split vectors must not expose
         // partial results to the consumer).
@@ -490,6 +537,21 @@ SparseMemoryUnit::completeLanes()
 void
 SparseMemoryUnit::step()
 {
+    // Drain-only cycles (every lane issued, waiting on the bank
+    // pipeline) skip the allocators entirely.
+    bool can_issue = false;
+    for (const Slot &s : queue_) {
+        if (s.pending != 0 || s.rmw_second_pass != 0) {
+            can_issue = true;
+            break;
+        }
+    }
+    if (!can_issue) {
+        ++now_;
+        ++stats_.cycles;
+        completeLanes();
+        return;
+    }
     if (cfg_.ideal) {
         allocateIdeal();
     } else {
@@ -509,6 +571,54 @@ SparseMemoryUnit::step()
     ++now_;
     ++stats_.cycles;
     completeLanes();
+}
+
+Cycle
+SparseMemoryUnit::nextEventCycle() const
+{
+    if (!ready_.empty() || queue_.empty())
+        return now_;
+    // RMW second passes re-arbitrate only in the (non-ideal) arbitrated
+    // baseline; any other configuration carrying one is treated as
+    // always-active so the caller never skips over it.
+    bool arb = !cfg_.ideal && cfg_.ordering == Ordering::Arbitrated;
+    Cycle wake = kNoEventCycle;
+    for (const Slot &s : queue_) {
+        if (s.pending == 0 && s.rmw_second_pass == 0)
+            continue;
+        if (s.pending != 0 || !arb)
+            return now_; // A lane may issue on the very next step.
+        // Arbitrated RMW write pass: blocked until every read returns;
+        // younger slots cannot overtake it, so only this one matters.
+        Cycle reads_back = 0;
+        for (int l = 0; l < cfg_.lanes; ++l) {
+            if (s.rmw_second_pass & (1u << l))
+                reads_back = std::max(reads_back, s.done_at[l]);
+        }
+        wake = std::min(wake, std::max(reads_back, now_));
+        break;
+    }
+    // Head completion: completeLanes() runs after the step's clock
+    // increment, so the head drains in the step that starts one cycle
+    // before its last lane's done_at.
+    const Slot &head = queue_.front();
+    if (head.pending == 0 && head.rmw_second_pass == 0) {
+        Cycle last = 0;
+        for (int l = 0; l < cfg_.lanes; ++l) {
+            if (head.av.lane[l].valid && head.dup_of[l] < 0)
+                last = std::max(last, head.done_at[l]);
+        }
+        wake = std::min(wake, last > now_ ? last - 1 : now_);
+    }
+    return wake == kNoEventCycle ? now_ : wake;
+}
+
+void
+SparseMemoryUnit::skipCycles(Cycle cycles, std::uint64_t repeated_enqueue_stalls)
+{
+    now_ += cycles;
+    stats_.cycles += cycles;
+    stats_.enqueue_stalls += repeated_enqueue_stalls;
 }
 
 std::optional<CompletedVector>

@@ -133,6 +133,26 @@ class SparseMemoryUnit
     /** Advance one clock cycle: allocate, issue, execute, complete. */
     void step();
 
+    /**
+     * Earliest local cycle at which a step() can do observable work:
+     * issue a lane, convert an RMW second pass, or complete the head
+     * vector. Returns now() when the very next step may make progress
+     * (or when a completed vector is waiting to be dequeued); any step
+     * strictly before the returned cycle is guaranteed to be a no-op.
+     * The fast-forward engine uses this to jump over latency waits.
+     */
+    Cycle nextEventCycle() const;
+
+    /**
+     * Stand in for @p cycles consecutive no-op step() calls: advance the
+     * local clock and the busy-cycle statistic without touching any
+     * queue state. Only legal when nextEventCycle() >= now() + cycles.
+     * @p repeated_enqueue_stalls additionally accounts the enqueue
+     * refusals the skipped cycles would have recorded (the machine
+     * replays one refused tryEnqueue() per blocked requester per cycle).
+     */
+    void skipCycles(Cycle cycles, std::uint64_t repeated_enqueue_stalls = 0);
+
     /** Pop the oldest fully-completed vector, if any (one per cycle). */
     std::optional<CompletedVector> tryDequeue();
 
@@ -178,8 +198,14 @@ class SparseMemoryUnit
         std::uint16_t done = 0;    //!< Completed lanes.
         std::array<Cycle, kMaxLanes> done_at{};
         std::array<std::int8_t, kMaxLanes> dup_of{}; //!< Elision master.
+        /** bankOf(addr) per valid lane, hashed once at enqueue. */
+        std::array<std::int8_t, kMaxLanes> bank{};
+        /** 1u << bank[l], for request-matrix building. */
+        std::array<std::uint32_t, kMaxLanes> bank_bit{};
         std::array<Value, kMaxLanes> result{};
         Cycle enqueued_at = 0;
+        /** Unsplit vector: completes directly, no merge record. */
+        bool sole = false;
     };
 
     /** Accumulates results of split parts until all have completed. */
@@ -200,8 +226,8 @@ class SparseMemoryUnit
     void completeLanes();
     Value executeOp(std::uint32_t addr, AccessOp op, Value operand);
 
-    /** Build the request matrix over slots [0, window). */
-    RequestMatrix buildRequests(int window) const;
+    /** OR slot @p s's pending requests into @p req. */
+    void addSlotRequests(RequestMatrix &req, int s) const;
 
     /** Priority window (slot count) for allocator iteration @p iter. */
     int priorityWindow(int iter) const;
@@ -213,6 +239,8 @@ class SparseMemoryUnit
 
     SpmuConfig cfg_;
     SeparableAllocator alloc_;
+    /** Reused per-iteration request matrices (no per-step allocation). */
+    std::vector<RequestMatrix> mats_scratch_;
     std::deque<Slot> queue_;
     std::deque<CompletedVector> ready_;
     std::unordered_map<std::uint64_t, MergeState> merge_;

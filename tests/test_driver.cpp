@@ -10,6 +10,7 @@
 #include "driver/json.hpp"
 #include "driver/options.hpp"
 #include "driver/runner.hpp"
+#include "driver/sweep.hpp"
 #include "workloads/datasets.hpp"
 
 namespace {
@@ -429,6 +430,53 @@ TEST_F(DriverRun, CompactAndPrettyJsonParseIdentically)
     JsonValue compact = JsonValue::parse(doc.dump(0));
     JsonValue pretty = JsonValue::parse(doc.dump(4));
     EXPECT_EQ(compact.dump(0), pretty.dump(0));
+}
+
+TEST(ParseHelpers, ParseNumberRejectsGarbageAndInfinities)
+{
+    // The strict helpers are the single numeric-validation path shared
+    // by capstan-run, capstan-sweep, and capstan-report.
+    double d = -1;
+    EXPECT_TRUE(parseNumber("0.5", d));
+    EXPECT_DOUBLE_EQ(d, 0.5);
+    EXPECT_TRUE(parseNumber("1e3", d));
+    EXPECT_DOUBLE_EQ(d, 1000.0);
+    EXPECT_FALSE(parseNumber("", d));
+    EXPECT_FALSE(parseNumber("foo", d));
+    EXPECT_FALSE(parseNumber("4x", d));   // Trailing garbage.
+    EXPECT_FALSE(parseNumber("1 2", d));
+    EXPECT_FALSE(parseNumber("inf", d));
+    EXPECT_FALSE(parseNumber("nan", d));
+}
+
+TEST(ParseHelpers, ParseIntRejectsFractionsAndOverflow)
+{
+    int i = -1;
+    EXPECT_TRUE(parseInt("42", i));
+    EXPECT_EQ(i, 42);
+    EXPECT_TRUE(parseInt("-3", i));
+    EXPECT_EQ(i, -3);
+    EXPECT_TRUE(parseInt("00", i)); // Leading zeros are still zero.
+    EXPECT_EQ(i, 0);
+    EXPECT_FALSE(parseInt("1.5", i));
+    EXPECT_FALSE(parseInt("foo", i));
+    EXPECT_FALSE(parseInt("4x", i));
+    EXPECT_FALSE(parseInt("1e18", i)); // Out of int range.
+}
+
+TEST(ParseHelpers, JobsContractIsSharedAcrossEntryPoints)
+{
+    // Negative --jobs is a parse error; 0 means "all cores" and
+    // resolves to hardware_concurrency (>= 1) in one place.
+    EXPECT_FALSE(parseArgs({"--jobs", "-1"}).ok());
+    EXPECT_FALSE(parseArgs({"--jobs", "foo"}).ok());
+    EXPECT_FALSE(parseArgs({"--jobs", "2.5"}).ok());
+    ParseResult r = parseArgs({"--jobs", "0"});
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.options.jobs, 0);
+    EXPECT_GE(resolveJobs(0), 1);
+    EXPECT_EQ(resolveJobs(3), 3);
+    EXPECT_GE(resolveJobs(-7), 1); // Defensive: clamps like 0.
 }
 
 } // namespace

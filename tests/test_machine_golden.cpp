@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Golden timing tests for the fast-forward stepping engine.
+ *
+ * The Machine jumps over provably-idle cycles (lang/machine.hpp); these
+ * tests pin whole-run cycle counts and Fig. 7 stall breakdowns for
+ * representative (app x dataset x machine) points, captured from the
+ * dense one-cycle-at-a-time executor before the fast-forward refactor.
+ * Any behavioral drift in the stepping engine — overshooting an event
+ * horizon, mis-attributing a skipped cycle, dropping a stall-counter
+ * replay — shows up here as an exact-value mismatch. The same runs can
+ * be reproduced densely with CAPSTAN_NO_FF=1 to bisect a failure.
+ *
+ * Also covers the trailing-empty-window token of
+ * Machine::feedScanWindows (valid_mask = 0), which must burn scanner
+ * cycles without ever retiring at the sink.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/options.hpp"
+#include "driver/runner.hpp"
+#include "lang/machine.hpp"
+#include "lang/ring.hpp"
+
+using namespace capstan;
+using namespace capstan::driver;
+using capstan::lang::Machine;
+using capstan::lang::RingQueue;
+using capstan::lang::RunTotals;
+using capstan::lang::StageKind;
+using capstan::lang::Token;
+
+namespace {
+
+/** Expected timing facts for one golden point. */
+struct Golden
+{
+    const char *name;
+    std::vector<std::string> args; //!< capstan-run flags.
+    std::uint64_t cycles;
+    double active_lane_cycles;
+    double vector_idle_lane_cycles;
+    double scan_empty_cycles;
+    double imbalance_lane_cycles;
+    std::uint64_t tokens;
+    std::uint64_t spmu_busy_cycles;
+    std::uint64_t spmu_grants;
+    std::uint64_t spmu_enqueue_stalls;
+};
+
+/**
+ * Captured on the pre-fast-forward dense executor (PR 3 tree) via
+ * `capstan-run <args> --json`; scales are bench-smoke sized so the
+ * whole table runs in seconds.
+ */
+const std::vector<Golden> &
+goldens()
+{
+    static const std::vector<Golden> g = {
+        {"spmv-capstan",
+         {"--app", "spmv", "--scale", "0.05", "--tiles", "4"},
+         290, 3947, 5989, 0, 80, 40, 637, 3947, 0},
+        {"spmv-plasticine",
+         {"--app", "spmv", "--scale", "0.05", "--tiles", "4",
+          "--config", "plasticine"},
+         1127, 3947, 5989, 0, 912, 40, 3951, 3947, 2919},
+        {"spmv-address-ordered",
+         {"--app", "spmv", "--scale", "0.05", "--tiles", "4",
+          "--ordering", "address"},
+         318, 3947, 5989, 0, 144, 40, 756, 3947, 130},
+        {"spmv-fully-ordered",
+         {"--app", "spmv", "--scale", "0.05", "--tiles", "4",
+          "--ordering", "fully"},
+         377, 3947, 5989, 0, 336, 40, 987, 3947, 272},
+        {"spmv-ddr4",
+         {"--app", "spmv", "--scale", "0.05", "--tiles", "4",
+          "--memtech", "ddr4"},
+         929, 3947, 5989, 0, 176, 40, 1582, 3947, 0},
+        {"bfs-mrg16",
+         {"--app", "bfs", "--scale", "0.1", "--tiles", "4"},
+         8695, 2442, 12422, 149, 20160, 929, 3753, 7326, 6},
+        {"bfs-merge-none",
+         {"--app", "bfs", "--scale", "0.1", "--tiles", "4", "--merge",
+          "none"},
+         12022, 2442, 12422, 149, 118576, 929, 3433, 6924, 2},
+        // Burn-heavy scanner geometry (1-bit windows): the fast-forward
+        // engine must stop at every burn completion, not jump past it.
+        {"bfs-scanbits1",
+         {"--app", "bfs", "--scale", "0.02", "--tiles", "4",
+          "--scan-bits", "1"},
+         4946, 456, 2504, 6448, 14752, 185, 1335, 1368, 0},
+        {"pagerank",
+         {"--app", "pagerank", "--scale", "0.05", "--tiles", "4",
+          "--iterations", "1"},
+         306, 1208, 6856, 0, 576, 34, 753, 1712, 235},
+        {"matadd",
+         {"--app", "matadd", "--scale", "0.05", "--tiles", "4"},
+         604, 3947, 10933, 621, 176, 930, 0, 0, 0},
+        {"spmv-csc",
+         {"--app", "spmv-csc", "--scale", "0.05", "--tiles", "4"},
+         310, 1840, 1968, 0, 656, 238, 256, 1219, 37},
+    };
+    return g;
+}
+
+} // namespace
+
+TEST(MachineGolden, CycleCountsAndStallBreakdownsAreBitIdentical)
+{
+    for (const Golden &g : goldens()) {
+        SCOPED_TRACE(g.name);
+        ParseResult pr = parseArgs(g.args);
+        ASSERT_TRUE(pr.ok()) << pr.error;
+        RunResult r = runDriver(pr.options);
+        EXPECT_EQ(r.timing.cycles, g.cycles);
+        EXPECT_EQ(r.timing.totals.active_lane_cycles,
+                  g.active_lane_cycles);
+        EXPECT_EQ(r.timing.totals.vector_idle_lane_cycles,
+                  g.vector_idle_lane_cycles);
+        EXPECT_EQ(r.timing.totals.scan_empty_cycles,
+                  g.scan_empty_cycles);
+        EXPECT_EQ(r.timing.totals.imbalance_lane_cycles,
+                  g.imbalance_lane_cycles);
+        EXPECT_EQ(r.timing.totals.tokens, g.tokens);
+        EXPECT_EQ(r.timing.spmu.cycles, g.spmu_busy_cycles);
+        EXPECT_EQ(r.timing.spmu.grants, g.spmu_grants);
+        EXPECT_EQ(r.timing.spmu.enqueue_stalls,
+                  g.spmu_enqueue_stalls);
+    }
+}
+
+TEST(MachineGolden, TrailingEmptyWindowsBurnScannerCycles)
+{
+    // pops = {3, 0, 0}: one 3-lane body token, then a valid_mask = 0
+    // trailing token carrying scan_skip = 2. The trailing token burns
+    // two Scan-stall cycles and must never retire at the sink.
+    Machine m(sim::CapstanConfig::ideal(), 1);
+    m.addStage(0, {StageKind::Scan, 1});
+    m.addStage(0, {StageKind::Sink});
+    m.feedScanWindows(0, {3, 0, 0});
+    m.runPhase();
+    const RunTotals &t = m.totals();
+    EXPECT_EQ(t.tokens, 1u);
+    EXPECT_EQ(t.scan_empty_cycles, 2.0);
+    EXPECT_EQ(t.active_lane_cycles, 3.0);
+}
+
+TEST(MachineGolden, AllEmptyWindowsStillCostScannerTime)
+{
+    // Only empty windows: the phase is pure scanner burn. The
+    // fast-forward engine must attribute every skipped cycle to the
+    // Scan stall class and still account the phase makespan.
+    Machine m(sim::CapstanConfig::ideal(), 1);
+    m.addStage(0, {StageKind::Scan, 1});
+    m.addStage(0, {StageKind::Sink});
+    m.feedScanWindows(0, {0, 0, 0, 0, 0});
+    auto ps = m.runPhase();
+    EXPECT_EQ(m.totals().tokens, 0u);
+    EXPECT_EQ(m.totals().scan_empty_cycles, 5.0);
+    EXPECT_GE(ps.cycles, 5u);
+}
+
+TEST(MachineGolden, TrailingEmptyWindowCarriesPendingBytes)
+{
+    // A region ending in empty windows still streams those windows'
+    // occupancy words from DRAM: the trailing token carries the bytes.
+    Machine m(sim::CapstanConfig::capstan(sim::MemTech::HBM2E), 1);
+    m.addStage(0, {StageKind::DramStream, 1});
+    m.addStage(0, {StageKind::Scan, 1});
+    m.addStage(0, {StageKind::Sink});
+    m.feedScanWindows(0, {0, 0}, 64);
+    m.runPhase();
+    EXPECT_EQ(m.totals().tokens, 0u);
+    EXPECT_EQ(m.totals().scan_empty_cycles, 2.0);
+    EXPECT_EQ(m.dram().stats().bytes, 128u);
+}
+
+TEST(MachineGolden, ReduceFlushGatedByTrailingBurnIsCycleExact)
+{
+    // A partial reduction whose flush is gated only by a trailing
+    // scanner burn: the dense loop fires the flush in the very
+    // iteration the burn counter reaches zero, so the fast-forward
+    // engine must execute that final burn cycle densely instead of
+    // bulk-replaying it (its horizon stops one cycle short). The cycle
+    // count is pinned from dense stepping (CAPSTAN_NO_FF=1).
+    Machine m(sim::CapstanConfig::ideal(), 1);
+    m.addStage(0, {StageKind::Scan, 1});
+    m.addStage(0, {StageKind::Reduce, 1});
+    m.addStage(0, {StageKind::Sink});
+    Token body = Token::compute(3);
+    body.end_group = true;
+    m.feed(0, body);
+    Token trailing = Token::compute(0);
+    trailing.valid_mask = 0;
+    trailing.scan_skip = 40;
+    m.feed(0, trailing);
+    auto ps = m.runPhase();
+    EXPECT_EQ(ps.cycles, 43u);
+    EXPECT_EQ(m.totals().tokens, 1u);
+    EXPECT_EQ(m.totals().scan_empty_cycles, 40.0);
+}
+
+TEST(MachineGolden, RingQueueGrowsAndKeepsFifoOrder)
+{
+    RingQueue<int> q;
+    EXPECT_TRUE(q.empty());
+    // Interleave pushes and pops so head/tail wrap across a growth.
+    for (int i = 0; i < 10; ++i)
+        q.push_back(i);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(q.front(), i);
+        q.pop_front();
+    }
+    for (int i = 0; i < 1000; ++i)
+        q.push_back(i);
+    EXPECT_EQ(q.size(), 1000u);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(q.front(), i);
+        q.pop_front();
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(MachineGolden, PassiveUnitHorizonsReportPendingWork)
+{
+    // The DRAM model, address generator, and scanner model are passive
+    // (invoked with an explicit cycle), so their horizons are
+    // informational: kNoEventCycle when drained, the next completion
+    // cycle while work is outstanding.
+    sim::CapstanConfig cfg = sim::CapstanConfig::capstan();
+    sim::ScannerModel scanner(cfg.scanner);
+    EXPECT_EQ(scanner.nextEventCycle(0), sim::kNoEventCycle);
+
+    sim::DramModel dram(cfg.dram, cfg.clock_ghz);
+    EXPECT_EQ(dram.nextEventCycle(0), sim::kNoEventCycle);
+    sim::Cycle done = dram.access(0, false, 0);
+    sim::Cycle horizon = dram.nextEventCycle(0);
+    EXPECT_GT(horizon, 0u);
+    EXPECT_LE(horizon, done);
+    EXPECT_EQ(dram.nextEventCycle(done), sim::kNoEventCycle);
+
+    sim::AddressGenerator ag(dram, 4);
+    EXPECT_EQ(ag.nextEventCycle(0), sim::kNoEventCycle);
+    std::uint64_t addrs[] = {0, 256};
+    sim::Cycle ag_done = ag.atomicVector(addrs, 0);
+    EXPECT_GT(ag.nextEventCycle(0), 0u);
+    ag.flush(ag_done);
+    EXPECT_EQ(ag.nextEventCycle(ag_done + 1000), sim::kNoEventCycle);
+}
+
+TEST(MachineGolden, ShuffleHorizonPinsTheClockWhileBuffered)
+{
+    sim::ShuffleConfig cfg = sim::CapstanConfig::capstan().shuffle;
+    cfg.ports = 4;
+    sim::ShuffleNetwork net(cfg);
+    EXPECT_EQ(net.nextEventCycle(17), sim::kNoEventCycle);
+    sim::ShuffleVector v;
+    v.id = 1;
+    v.valid[0] = true;
+    v.dst_port[0] = 2; // Remote: buffers in the butterfly.
+    ASSERT_TRUE(net.tryInject(0, v));
+    EXPECT_EQ(net.nextEventCycle(17), 17u); // Busy: step every cycle.
+    while (!net.tryEject(2).has_value())
+        net.step();
+    EXPECT_EQ(net.nextEventCycle(17), sim::kNoEventCycle);
+}
+
+TEST(MachineGolden, SpmuNextEventCycleBoundsIdleSteps)
+{
+    // Enqueue one vector, let every lane issue, and check the horizon
+    // points at the head-completion step: stepping to it (but not past
+    // it) completes the vector, exactly as dense stepping would.
+    sim::SpmuConfig cfg = sim::CapstanConfig::capstan().spmu;
+    sim::SparseMemoryUnit spmu(cfg);
+    sim::AccessVector av;
+    av.id = 7;
+    for (int l = 0; l < 4; ++l) {
+        av.lane[l].valid = true;
+        av.lane[l].addr = static_cast<std::uint32_t>(l); // 4 banks.
+    }
+    ASSERT_TRUE(spmu.tryEnqueue(av));
+    ASSERT_EQ(spmu.nextEventCycle(), spmu.now()); // Issuable now.
+    spmu.step(); // All four lanes issue (conflict-free banks).
+    // With everything issued, the horizon points at the head-completion
+    // step (equal to now() when the bank pipeline is already drained).
+    sim::Cycle wake = spmu.nextEventCycle();
+    ASSERT_GE(wake, spmu.now());
+    // Skip the idle wait, then one step must complete the vector.
+    spmu.skipCycles(wake - spmu.now());
+    spmu.step();
+    auto cv = spmu.tryDequeue();
+    ASSERT_TRUE(cv.has_value());
+    EXPECT_EQ(cv->id, 7u);
+    EXPECT_TRUE(spmu.empty());
+}
