@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Download a small curated subset of the paper's Table 6 datasets into
+# a directory capstan-run / capstan-report can use with --dataset-dir.
+#
+# SuiteSparse matrices come from sparse.tamu.edu as Matrix Market
+# tarballs and are unpacked to <dir>/<Table6-name>.mtx; SNAP graphs
+# come from snap.stanford.edu as gzipped edge lists and land at
+# <dir>/<Table6-name>.txt. Files that already exist are kept, so the
+# script is safe to re-run. Needs curl (or wget), tar, and gunzip;
+# nothing is fetched in CI — the checked-in data/fixtures/ files cover
+# the plumbing there.
+#
+# Usage: fetch_datasets.sh [dir]   (default: data/real)
+set -euo pipefail
+
+dir="${1:-data/real}"
+mkdir -p "$dir"
+
+fetch() {
+    url="$1" out="$2"
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsSL "$url" -o "$out"
+    elif command -v wget >/dev/null 2>&1; then
+        wget -q "$url" -O "$out"
+    else
+        echo "fetch_datasets: need curl or wget" >&2
+        exit 1
+    fi
+}
+
+# name group  (SuiteSparse: https://sparse.tamu.edu/<group>/<name>)
+suitesparse() {
+    name="$1" group="$2"
+    out="$dir/$name.mtx"
+    if [ -f "$out" ]; then
+        echo "have   $out"
+        return
+    fi
+    echo "fetch  $name (SuiteSparse/$group)"
+    tmp="$dir/.$name.tar.gz"
+    fetch "https://suitesparse-collection-website.herokuapp.com/MM/$group/$name.tar.gz" "$tmp" ||
+        fetch "https://sparse.tamu.edu/MM/$group/$name.tar.gz" "$tmp"
+    tar -xzf "$tmp" -C "$dir" "$name/$name.mtx"
+    mv "$dir/$name/$name.mtx" "$out"
+    rmdir "$dir/$name"
+    rm -f "$tmp"
+    echo "wrote  $out"
+}
+
+snap() {
+    name="$1"
+    out="$dir/$name.txt"
+    if [ -f "$out" ]; then
+        echo "have   $out"
+        return
+    fi
+    echo "fetch  $name (SNAP)"
+    tmp="$dir/.$name.txt.gz"
+    fetch "https://snap.stanford.edu/data/$name.txt.gz" "$tmp"
+    gunzip -c "$tmp" > "$out"
+    rm -f "$tmp"
+    echo "wrote  $out"
+}
+
+# Linear algebra (SpMV / M+M / BiCGStab, Table 6 top).
+suitesparse ckt11752_dc_1 IBM_EDA
+suitesparse Trefethen_20000 JGD_Trefethen
+suitesparse bcsstk30 HB
+
+# SpMSpM (Table 6 lower-middle).
+suitesparse qc324 Bai
+suitesparse mbeacxc HB
+
+# Graphs (PR / BFS / SSSP, Table 6 middle). usroads-48 is hosted by
+# SuiteSparse; the rest are SNAP edge lists. flickr has no public
+# download — the paper's sensitivity studies substitute
+# p2p-Gnutella31, which is fetched here for the same purpose.
+suitesparse usroads-48 Gleich
+snap web-Stanford
+snap p2p-Gnutella31
+
+echo
+echo "Done. Point the tools at the directory, e.g.:"
+echo "  ./build/capstan-run --app spmv --dataset bcsstk30 --dataset-dir $dir"
+echo "  ./build/capstan-report --all --preset quick --dataset-dir $dir"

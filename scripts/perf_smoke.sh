@@ -10,25 +10,46 @@
 # path regression (losing fast-forward coverage, reintroducing
 # per-token allocation) blows well past it.
 #
+# On hosts that cannot produce a reference number — no python3, or a
+# BENCH_sweep.json without a report_quick benchmark — the check skips
+# (exit 77, ctest's SKIP_RETURN_CODE) instead of failing the suite:
+# an unrelated host gap is not a perf regression.
+#
 # Usage: perf_smoke.sh [build-dir]   (default: build)
 set -euo pipefail
 
+skip() {
+    echo "perf_smoke: SKIP — $1"
+    exit 77
+}
+
 build_dir="${1:-build}"
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+command -v python3 >/dev/null 2>&1 ||
+    skip "python3 not found; cannot read the reference wall-clock"
+[ -f "$repo_root/BENCH_sweep.json" ] ||
+    skip "BENCH_sweep.json not found"
 
 ref_ms=$(python3 - "$repo_root/BENCH_sweep.json" <<'EOF'
 import json
 import sys
 
-doc = json.load(open(sys.argv[1]))
-for bench in doc["benchmarks"]:
+try:
+    doc = json.load(open(sys.argv[1]))
+except (OSError, ValueError):
+    sys.exit(0)
+for bench in doc.get("benchmarks", []):
     if bench.get("benchmark", "").startswith("report_quick"):
-        print(int(bench["measurements"][-1]["wall_ms"]["jobs_1"]))
+        try:
+            print(int(bench["measurements"][-1]["wall_ms"]["jobs_1"]))
+        except (KeyError, IndexError, TypeError, ValueError):
+            pass
         break
-else:
-    sys.exit("BENCH_sweep.json has no report_quick benchmark")
 EOF
 )
+[ -n "$ref_ms" ] ||
+    skip "BENCH_sweep.json has no usable report_quick reference"
 
 start_ns=$(date +%s%N)
 "$build_dir/capstan-report" --all --preset quick --check --jobs 1 \

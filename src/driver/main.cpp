@@ -16,15 +16,18 @@
 
 #include <cstdio>
 #include <exception>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "driver/options.hpp"
 #include "driver/runner.hpp"
 #include "driver/sweep.hpp"
+#include "workloads/io.hpp"
 
 namespace {
 
@@ -135,11 +138,18 @@ runSweepMode(const DriverOptions &opts, const std::string &prog)
         !writeReport(opts.csv_output, sweepReportToCsv(results), prog))
         return 1;
 
+    bool failed = false, usage_error = false;
     for (const auto &r : results) {
-        if (!r.ok)
-            return 1; // Report emitted; signal the partial failure.
+        failed |= !r.ok;
+        usage_error |= r.usage_error;
     }
-    return 0;
+    if (usage_error) {
+        // Same exit-2 contract as single-run mode: a bad dataset
+        // name/file is a usage error, not a simulation failure.
+        std::cerr << datasetHint() << "\n";
+        return 2;
+    }
+    return failed ? 1 : 0; // Report emitted; signal partial failure.
 }
 
 } // namespace
@@ -177,6 +187,21 @@ main(int argc, char **argv)
                      "spec.json) or --axis flags\n";
         return 2;
     }
+    // A bad --dataset-dir silently running everything synthetic would
+    // defeat the flag's purpose; same contract as capstan-report.
+    // (Dry runs validate flags only: documented commands reference
+    // directories the user has not fetched yet.)
+    if (!parsed.options.dataset_dir.empty() &&
+        !parsed.options.dry_run) {
+        std::error_code ec;
+        if (!std::filesystem::is_directory(parsed.options.dataset_dir,
+                                           ec)) {
+            std::cerr << prog << ": --dataset-dir '"
+                      << parsed.options.dataset_dir
+                      << "' is not a directory\n";
+            return 2;
+        }
+    }
 
     try {
         if (parsed.options.dry_run &&
@@ -187,6 +212,12 @@ main(int argc, char **argv)
         return parsed.options.sweepRequested()
                    ? runSweepMode(parsed.options, prog)
                    : runSingle(parsed.options, prog);
+    } catch (const capstan::workloads::DatasetError &e) {
+        // Unknown names and missing/malformed dataset files are usage
+        // errors, not crashes: same exit-2 contract as flag parsing.
+        std::cerr << prog << ": " << e.what() << "\n"
+                  << datasetHint() << "\n";
+        return 2;
     } catch (const std::exception &e) {
         std::cerr << prog << ": " << e.what() << "\n";
         return 1;

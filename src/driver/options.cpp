@@ -314,6 +314,10 @@ parseArgs(const std::vector<std::string> &args)
             o.spmu_ideal = true;
         } else if (a == "--dry-run") {
             o.dry_run = true;
+        } else if (a == "--dataset-dir") {
+            if (!value(v))
+                return fail("--dataset-dir requires a directory");
+            o.dataset_dir = v;
         } else if (a == "--output") {
             if (!value(v))
                 return fail("--output requires a path");
@@ -426,8 +430,15 @@ usageText()
         "  --app NAME         spmv|spmv-coo|spmv-csc|conv|pagerank|\n"
         "                     pagerank-edge|bfs|sssp|matadd|spmspm|\n"
         "                     bicgstab            (default: spmv)\n"
-        "  --dataset NAME     Table 6 dataset     (default: per app)\n"
-        "  --scale F          dataset scale multiplier (default: 1)\n"
+        "  --dataset NAME     Table 6 dataset, file:PATH (.mtx or\n"
+        "                     SNAP edge list), or mtx:NAME under\n"
+        "                     --dataset-dir   (default: per app)\n"
+        "  --dataset-dir DIR  directory of real dataset files; Table 6\n"
+        "                     names resolve to DIR/<name>.mtx|.el|.txt\n"
+        "                     when present, else fall back to the\n"
+        "                     synthetic stand-in (with a note)\n"
+        "  --scale F          dataset scale multiplier (default: 1;\n"
+        "                     synthetic generation only)\n"
         "  --tiles N          outer-parallel tiles (default: 16)\n"
         "  --iterations N     PR/BiCGStab iterations (default: 2)\n"
         "\n"
@@ -492,6 +503,26 @@ listText()
     for (const auto &d : workloads::convDatasetNames())
         out << ' ' << d;
     out << "\nconfigs: capstan plasticine ideal\n";
+    return out.str();
+}
+
+std::string
+datasetHint()
+{
+    std::ostringstream out;
+    out << "valid datasets:";
+    for (const auto &d : workloads::linearAlgebraDatasetNames())
+        out << ' ' << d;
+    for (const auto &d : workloads::graphDatasetNames())
+        out << ' ' << d;
+    out << " p2p-Gnutella31";
+    for (const auto &d : workloads::spmspmDatasetNames())
+        out << ' ' << d;
+    for (const auto &d : workloads::convDatasetNames())
+        out << " '" << d << '\'';
+    out << "\nor file:PATH / mtx:NAME for real .mtx and SNAP "
+           "edge-list files (see --dataset-dir and "
+           "docs/REPRODUCTION.md)";
     return out.str();
 }
 

@@ -32,7 +32,19 @@ enum class ConfigPoint {
 struct DriverOptions
 {
     std::string app = "spmv";     //!< Application name (see appNames()).
-    std::string dataset;          //!< Table 6 name; empty = app default.
+    /**
+     * Dataset: a Table 6 name, `file:PATH` (a real .mtx / SNAP
+     * edge-list file), or `mtx:NAME` (resolved under dataset_dir).
+     * Empty = the app's default Table 6 name.
+     */
+    std::string dataset;
+    /**
+     * Directory of real dataset files (--dataset-dir). When set,
+     * Table 6 names resolve to `<dir>/<name>.mtx` / `.el` / `.txt`
+     * when present and fall back to the synthetic stand-ins (with a
+     * stderr note) when not. Sweep points inherit it from the base.
+     */
+    std::string dataset_dir;
     double scale = 1.0;           //!< Multiplier on the bench scale.
     int tiles = 16;
     int iterations = 2;           //!< PageRank / BiCGStab iterations.
@@ -141,6 +153,14 @@ std::string usageText();
 
 /** App / dataset / config listing for --list. */
 std::string listText();
+
+/**
+ * One-paragraph hint listing the valid dataset names and the `file:`
+ * / `mtx:` schemes. The driver binaries print it after a
+ * workloads::DatasetError so an unknown-dataset usage error (exit 2)
+ * tells the user what would have worked.
+ */
+std::string datasetHint();
 
 } // namespace capstan::driver
 

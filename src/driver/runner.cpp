@@ -50,7 +50,7 @@ namespace {
 
 struct DatasetKey
 {
-    std::string name;
+    std::string name; //!< Dataset name, prefixed by the dataset dir.
     long scale_milli;
     bool operator<(const DatasetKey &o) const
     {
@@ -58,6 +58,22 @@ struct DatasetKey
                std::tie(o.name, o.scale_milli);
     }
 };
+
+/**
+ * Cache key spanning name, generation scale, and dataset dir. Names
+ * that resolve to a real file collapse the scale component: scale
+ * only applies to synthetic generation, so without this a scale
+ * sweep over a real dataset would re-load and hold one identical
+ * multi-hundred-MB matrix per scale value.
+ */
+DatasetKey
+datasetKey(const std::string &name, double scale,
+           const std::string &dataset_dir)
+{
+    if (realDatasetPath(name, dataset_dir))
+        scale = 1.0;
+    return {dataset_dir + '\x1f' + name, std::lround(scale * 1000)};
+}
 
 /**
  * Generate-once cache shared by concurrent sweep workers. A short
@@ -102,12 +118,13 @@ template <typename T> class GenerateOnceCache
 };
 
 const MatrixDataset &
-cachedMatrix(const std::string &name, double scale)
+cachedMatrix(const std::string &name, double scale,
+             const std::string &dataset_dir)
 {
     static GenerateOnceCache<MatrixDataset> cache;
-    DatasetKey key{name, std::lround(scale * 1000)};
-    return cache.get(key,
-                     [&] { return loadMatrixDataset(name, scale); });
+    return cache.get(datasetKey(name, scale, dataset_dir), [&] {
+        return resolveMatrixDataset(name, scale, dataset_dir);
+    });
 }
 
 const ConvDataset &
@@ -144,8 +161,20 @@ runApp(const std::string &app, const std::string &dataset,
         const ConvDataset &d = cachedConv(dataset, scale);
         return runConv(d.layer, cfg, knobs.tiles).timing;
     }
-    const MatrixDataset &d = cachedMatrix(dataset, scale);
+    const MatrixDataset &d =
+        cachedMatrix(dataset, scale, knobs.dataset_dir);
     const sparse::CsrMatrix &m = d.matrix;
+    // Graph traversals, M+M (A + A^T), SpMSpM (A x A), and BiCGStab
+    // index one dimension with the other's indices, so a rectangular
+    // matrix would read/write out of bounds. Every synthetic
+    // generator is square; only real dataset files can get here.
+    if (app != "CSR" && app != "COO" && app != "CSC" &&
+        m.rows() != m.cols()) {
+        throw workloads::DatasetError(
+            "app " + app + " requires a square matrix; dataset '" +
+            dataset + "' is " + std::to_string(m.rows()) + "x" +
+            std::to_string(m.cols()));
+    }
     if (app == "CSR")
         return runSpmvCsr(m, denseInput(m.cols()), cfg, knobs.tiles)
             .timing;
@@ -173,9 +202,9 @@ runApp(const std::string &app, const std::string &dataset,
         // Add the dataset to its transpose: same dimensions and
         // density, different (but correlated) occupancy.
         static GenerateOnceCache<sparse::CsrMatrix> tcache;
-        DatasetKey key{dataset, std::lround(scale * 1000)};
         const sparse::CsrMatrix &mt =
-            tcache.get(key, [&] { return m.transpose(); });
+            tcache.get(datasetKey(dataset, scale, knobs.dataset_dir),
+                       [&] { return m.transpose(); });
         return runMatAdd(m, mt, cfg, knobs.tiles, knobs.use_bittree)
             .timing;
     }
@@ -208,6 +237,7 @@ runDriver(const DriverOptions &opts)
     knobs.tiles = opts.tiles;
     knobs.iterations = opts.iterations;
     knobs.scale_mult = opts.scale;
+    knobs.dataset_dir = opts.dataset_dir;
     r.scale = effectiveScale(r.dataset, knobs);
     r.timing = runApp(r.app, r.dataset, r.config, knobs);
 
@@ -217,11 +247,12 @@ runDriver(const DriverOptions &opts)
         r.info.cols = layer.dim;
         r.info.nnz = -1;
     } else {
-        const sparse::CsrMatrix &m =
-            cachedMatrix(r.dataset, r.scale).matrix;
-        r.info.rows = m.rows();
-        r.info.cols = m.cols();
-        r.info.nnz = m.nnz();
+        const MatrixDataset &d =
+            cachedMatrix(r.dataset, r.scale, knobs.dataset_dir);
+        r.info.rows = d.matrix.rows();
+        r.info.cols = d.matrix.cols();
+        r.info.nnz = d.matrix.nnz();
+        r.info.source = d.source;
     }
     return r;
 }
@@ -242,6 +273,10 @@ statsToJson(const RunResult &r)
     dataset.set("rows", static_cast<std::int64_t>(r.info.rows));
     dataset.set("cols", static_cast<std::int64_t>(r.info.cols));
     dataset.set("nnz", static_cast<std::int64_t>(r.info.nnz));
+    // Only real datasets carry a source path; the synthetic schema is
+    // unchanged so pre-ingestion stats stay byte-identical.
+    if (!r.info.source.empty())
+        dataset.set("source", r.info.source);
     doc.set("dataset", std::move(dataset));
 
     JsonValue cfg = JsonValue::object();
@@ -323,6 +358,8 @@ statsToText(const RunResult &r)
     if (r.info.nnz >= 0)
         out << ", " << r.info.nnz << " nnz";
     out << ")\n";
+    if (!r.info.source.empty())
+        out << "source: " << r.info.source << "\n";
     out << "config: " << r.config_name << " / "
         << sim::memTechName(r.config.dram.tech) << ", " << r.tiles
         << " tiles\n";

@@ -36,6 +36,11 @@ struct RunKnobs
     double scale_mult = 1.0;
     bool write_pointers = true; //!< BFS/SSSP back pointers.
     bool use_bittree = true;    //!< M+M row format.
+    /**
+     * Directory of real dataset files (--dataset-dir); empty keeps
+     * every dataset synthetic. See workloads::resolveMatrixDataset.
+     */
+    std::string dataset_dir;
 };
 
 /**
@@ -58,6 +63,8 @@ struct DatasetInfo
     Index rows = 0;
     Index cols = 0;
     Index64 nnz = 0; //!< Matrix non-zeros; -1 for conv layers.
+    /** Source file of a real dataset; empty for synthetic. */
+    std::string source;
 };
 
 /**

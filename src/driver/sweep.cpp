@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "workloads/io.hpp"
+
 namespace capstan::driver {
 
 namespace {
@@ -241,6 +243,9 @@ runSweep(const std::vector<DriverOptions> &points, int jobs,
             try {
                 r.result = runDriver(points[i]);
                 r.ok = true;
+            } catch (const workloads::DatasetError &e) {
+                r.error = e.what();
+                r.usage_error = true;
             } catch (const std::exception &e) {
                 r.error = e.what();
             }

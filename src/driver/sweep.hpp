@@ -101,6 +101,12 @@ struct SweepPointResult
     bool ok = false;
     RunResult result;       //!< Valid when ok.
     std::string error;      //!< what() of the failure when !ok.
+    /**
+     * The failure was a workloads::DatasetError (unknown name,
+     * missing/malformed file): a usage error the CLIs report with
+     * exit 2 and the dataset hint, matching single-run mode.
+     */
+    bool usage_error = false;
 };
 
 /** Called after each point completes; @p done counts finished points. */

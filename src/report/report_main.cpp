@@ -16,15 +16,18 @@
 
 #include <cstdio>
 #include <exception>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "driver/options.hpp"
 #include "report/catalog.hpp"
 #include "report/render.hpp"
 #include "report/study.hpp"
+#include "workloads/io.hpp"
 
 namespace {
 
@@ -43,6 +46,7 @@ struct ReportArgs
     bool list = false;
     bool help = false;
     bool dry_run = false;
+    std::string dataset_dir; //!< Real-dataset directory; empty = none.
     std::string reference; //!< Empty = search default locations.
     std::string markdown = "docs/RESULTS.md";
     std::string json = "report.json";
@@ -68,6 +72,10 @@ const char *kUsage =
     "  --tiles N          override the preset's tile count\n"
     "  --iterations N     override the preset's PR/BiCGStab iterations\n"
     "  --jobs N           sweep worker threads (default: all cores)\n"
+    "  --dataset-dir DIR  resolve Table 6 names to real dataset files\n"
+    "                     (DIR/<name>.mtx|.el|.txt) when present;\n"
+    "                     absent names fall back to the synthetic\n"
+    "                     stand-ins with a note\n"
     "\n"
     "Checking and output:\n"
     "  --check            compare against the paper reference; exit\n"
@@ -142,6 +150,10 @@ parseReportArgs(const std::vector<std::string> &args)
             if (!value(v) || !capstan::driver::parseInt(v, a.jobs) ||
                 a.jobs < 0)
                 return fail("--jobs requires a non-negative integer");
+        } else if (arg == "--dataset-dir") {
+            if (!value(v))
+                return fail("--dataset-dir requires a directory");
+            a.dataset_dir = v;
         } else if (arg == "--reference") {
             if (!value(v))
                 return fail("--reference requires a path");
@@ -260,6 +272,16 @@ main(int argc, char **argv)
         meta.knobs.tiles = args.tiles;
     if (args.iterations > 0)
         meta.knobs.iterations = args.iterations;
+    if (!args.dataset_dir.empty()) {
+        std::error_code ec;
+        if (!std::filesystem::is_directory(args.dataset_dir, ec)) {
+            std::cerr << "capstan-report: --dataset-dir '"
+                      << args.dataset_dir
+                      << "' is not a directory\n";
+            return 2;
+        }
+        meta.knobs.dataset_dir = args.dataset_dir;
+    }
 
     // Load the paper reference: an explicit path must parse; the
     // default search tolerates absence (studies then print plain
@@ -298,6 +320,7 @@ main(int argc, char **argv)
     ctx.reference = have_reference ? &reference : nullptr;
 
     std::vector<StudyRun> runs;
+    bool dataset_usage_error = false;
     for (const Study *study : selected) {
         std::fprintf(stderr, "capstan-report: running %s (%s)...\n",
                      study->name.c_str(), study->artifact.c_str());
@@ -309,6 +332,12 @@ main(int argc, char **argv)
             if (have_reference)
                 run.check = reference.check(study->name,
                                             run.result.metrics);
+        } catch (const capstan::workloads::DatasetError &e) {
+            // A bad dataset name or a missing/malformed file under
+            // --dataset-dir is a usage error (exit 2 below), not a
+            // study crash.
+            run.error = e.what();
+            dataset_usage_error = true;
         } catch (const std::exception &e) {
             run.error = e.what();
         }
@@ -346,6 +375,10 @@ main(int argc, char **argv)
     if (errors > 0) {
         std::printf("%zu stud%s failed to run\n", errors,
                     errors == 1 ? "y" : "ies");
+        if (dataset_usage_error) {
+            std::cerr << capstan::driver::datasetHint() << "\n";
+            return 2;
+        }
         return 1;
     }
     if (args.check && deviations > 0) {

@@ -358,7 +358,10 @@ runTable12(const StudyContext &ctx)
                 p = gpu ? profileConv(layer)
                         : profileConvSparseCpu(layer);
             } else {
-                auto m = loadMatrixDataset(ds, scale).matrix;
+                auto m =
+                    resolveMatrixDataset(ds, scale,
+                                         ctx.knobs.dataset_dir)
+                        .matrix;
                 if (app == "CSR")
                     p = profileSpmvCsr(m);
                 else if (app == "COO")
@@ -481,7 +484,9 @@ runTable13(const StudyContext &ctx)
     {
         std::string ds = "ckt11752_dc_1";
         double scale = driver::defaultScale(ds) * ctx.knobs.scale_mult;
-        auto m = loadMatrixDataset(ds, scale).matrix;
+        auto m = resolveMatrixDataset(ds, scale,
+                                      ctx.knobs.dataset_dir)
+                     .matrix;
         double cap = seconds(driver::runApp(
             "CSC", ds, CapstanConfig::ideal(), ctx.knobs));
         addRow("eie", "EIE", "CSC", eieSeconds(m, 0.30) / cap);
@@ -512,7 +517,10 @@ runTable13(const StudyContext &ctx)
             std::string ds = "flickr";
             double scale =
                 driver::defaultScale(ds) * ctx.knobs.scale_mult;
-            auto g = loadMatrixDataset(ds, scale).matrix;
+            auto g =
+                resolveMatrixDataset(ds, scale,
+                                     ctx.knobs.dataset_dir)
+                    .matrix;
             driver::RunKnobs knobs = ctx.knobs;
             knobs.write_pointers = false;
             double cap = seconds(driver::runApp(
@@ -534,7 +542,9 @@ runTable13(const StudyContext &ctx)
     {
         std::string ds = "qc324";
         double scale = driver::defaultScale(ds) * ctx.knobs.scale_mult;
-        auto m = loadMatrixDataset(ds, scale).matrix;
+        auto m = resolveMatrixDataset(ds, scale,
+                                      ctx.knobs.dataset_dir)
+                     .matrix;
         double mults = 0;
         for (Index i = 0; i < m.rows(); ++i) {
             for (Index j : m.rowIndices(i))

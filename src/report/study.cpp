@@ -38,6 +38,7 @@ StudyContext::base(const std::string &app,
     driver::DriverOptions base;
     base.app = app;
     base.dataset = dataset;
+    base.dataset_dir = knobs.dataset_dir;
     base.scale = knobs.scale_mult;
     base.tiles = knobs.tiles;
     base.iterations = knobs.iterations;

@@ -75,6 +75,51 @@ CsrMatrix::fromCoo(const CooMatrix &coo)
     return csr;
 }
 
+CsrMatrix
+CsrMatrix::fromParts(Index rows, Index cols,
+                     std::vector<Index> row_ptr,
+                     std::vector<Index> col_idx,
+                     std::vector<Value> values)
+{
+    auto invalid = [](const char *why) {
+        throw std::invalid_argument(
+            std::string("CsrMatrix::fromParts: ") + why);
+    };
+    if (rows < 0 || cols < 0)
+        invalid("negative dimensions");
+    if (row_ptr.size() != static_cast<std::size_t>(rows) + 1)
+        invalid("row_ptr must have rows + 1 entries");
+    if (row_ptr.front() != 0)
+        invalid("row_ptr must start at 0");
+    if (col_idx.size() != values.size() ||
+        col_idx.size() != static_cast<std::size_t>(row_ptr.back()))
+        invalid("row_ptr, col_idx, and values lengths disagree");
+    Index total = static_cast<Index>(col_idx.size());
+    for (Index r = 0; r < rows; ++r) {
+        // Both bounds before the inner loop touches col_idx: a
+        // corrupt row_ptr entry above the array length would
+        // otherwise be read out-of-bounds before the next
+        // iteration's monotonicity check could reject it.
+        if (row_ptr[r + 1] < row_ptr[r])
+            invalid("row_ptr must be non-decreasing");
+        if (row_ptr[r + 1] > total)
+            invalid("row_ptr entry exceeds the entry count");
+        for (Index i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+            if (col_idx[i] < 0 || col_idx[i] >= cols)
+                invalid("column index outside matrix bounds");
+            if (i > row_ptr[r] && col_idx[i] <= col_idx[i - 1])
+                invalid("columns must be strictly increasing per row");
+        }
+    }
+    CsrMatrix csr;
+    csr.rows_ = rows;
+    csr.cols_ = cols;
+    csr.row_ptr_ = std::move(row_ptr);
+    csr.col_idx_ = std::move(col_idx);
+    csr.values_ = std::move(values);
+    return csr;
+}
+
 std::span<const Index>
 CsrMatrix::rowIndices(Index r) const
 {

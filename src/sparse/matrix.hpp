@@ -76,6 +76,19 @@ class CsrMatrix
     /** Build from a row-major-sorted COO matrix. */
     static CsrMatrix fromCoo(const CooMatrix &coo);
 
+    /**
+     * Adopt pre-built CSR arrays (e.g. a deserialized binary cache,
+     * workloads/io.hpp). Validates every format invariant — pointer
+     * monotonicity, aligned array lengths, in-range and sorted,
+     * duplicate-free column indices — and throws std::invalid_argument
+     * on any violation, so corrupt input can never produce a matrix
+     * other methods would misindex.
+     */
+    static CsrMatrix fromParts(Index rows, Index cols,
+                               std::vector<Index> row_ptr,
+                               std::vector<Index> col_idx,
+                               std::vector<Value> values);
+
     Index rows() const { return rows_; }
     Index cols() const { return cols_; }
     Index nnz() const { return static_cast<Index>(col_idx_.size()); }

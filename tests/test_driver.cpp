@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "driver/json.hpp"
 #include "driver/options.hpp"
 #include "driver/runner.hpp"
@@ -139,6 +142,24 @@ TEST(DriverOptions, RejectsBadInput)
     EXPECT_FALSE(parseArgs({"--bandwidth-gbps", "nan"}).ok());
     EXPECT_FALSE(parseArgs({"--tiles", "3000000000"}).ok());
     EXPECT_FALSE(parseArgs({"--queue-depth", "1e20"}).ok());
+    EXPECT_FALSE(parseArgs({"--dataset-dir"}).ok());
+}
+
+TEST(DriverOptions, DatasetDirAndSchemesParse)
+{
+    ParseResult r = parseArgs({"--dataset", "file:some/path.mtx",
+                               "--dataset-dir", "data/real"});
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.options.dataset, "file:some/path.mtx");
+    EXPECT_EQ(r.options.dataset_dir, "data/real");
+
+    // Sweep points inherit the dataset dir from the base options.
+    ParseResult s = parseArgs({"--dataset-dir", "data/real", "--axis",
+                               "app=spmv,matadd"});
+    ASSERT_TRUE(s.ok()) << s.error;
+    SweepSpec spec = specFromOptions(s.options, nullptr);
+    for (const auto &point : expandSweep(spec))
+        EXPECT_EQ(point.dataset_dir, "data/real");
 }
 
 TEST(DriverOptions, ParsesSweepFlags)
@@ -332,6 +353,32 @@ TEST(DriverJson, CountersPrintAsExactIntegers)
 {
     JsonValue v(std::uint64_t{123456789});
     EXPECT_EQ(v.dump(), "123456789");
+}
+
+TEST(DriverJson, NonFiniteNumbersSerializeAsNull)
+{
+    // JSON has no NaN/Inf literals; a stat that divides by zero must
+    // produce a document every parser still accepts. Regression guard
+    // for report.json / sweep reports poisoned by bare `nan`.
+    EXPECT_EQ(JsonValue(std::nan("")).dump(), "null");
+    EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).dump(),
+              "null");
+    EXPECT_EQ(
+        JsonValue(-std::numeric_limits<double>::infinity()).dump(),
+        "null");
+
+    JsonValue doc = JsonValue::object();
+    doc.set("ok", 1.5);
+    doc.set("bad", std::nan(""));
+    JsonValue arr = JsonValue::array();
+    arr.push(std::numeric_limits<double>::infinity());
+    doc.set("arr", std::move(arr));
+    EXPECT_EQ(doc.dump(), "{\"ok\":1.5,\"bad\":null,\"arr\":[null]}");
+
+    // The emitted document round-trips through our own parser.
+    JsonValue back = JsonValue::parse(doc.dump());
+    EXPECT_TRUE(back.at("bad").isNull());
+    EXPECT_TRUE(back.at("arr")[0].isNull());
 }
 
 // ---------------------------------------------------------------------------

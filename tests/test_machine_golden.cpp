@@ -52,7 +52,11 @@ struct Golden
 /**
  * Captured on the pre-fast-forward dense executor (PR 3 tree) via
  * `capstan-run <args> --json`; scales are bench-smoke sized so the
- * whole table runs in seconds.
+ * whole table runs in seconds. The bfs-scanbits1 and pagerank rows
+ * were recaptured when dataset scaling switched from truncation to
+ * round-to-nearest (their generated dimensions moved by one); both
+ * were re-verified bit-identical against the dense executor with
+ * CAPSTAN_NO_FF=1.
  */
 const std::vector<Golden> &
 goldens()
@@ -89,11 +93,11 @@ goldens()
         {"bfs-scanbits1",
          {"--app", "bfs", "--scale", "0.02", "--tiles", "4",
           "--scan-bits", "1"},
-         4946, 456, 2504, 6448, 14752, 185, 1335, 1368, 0},
+         4950, 456, 2504, 6481, 15184, 185, 1333, 1368, 0},
         {"pagerank",
          {"--app", "pagerank", "--scale", "0.05", "--tiles", "4",
           "--iterations", "1"},
-         306, 1208, 6856, 0, 576, 34, 753, 1712, 235},
+         306, 1208, 6872, 0, 560, 34, 754, 1713, 235},
         {"matadd",
          {"--app", "matadd", "--scale", "0.05", "--tiles", "4"},
          604, 3947, 10933, 621, 176, 930, 0, 0, 0},
