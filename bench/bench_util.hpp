@@ -10,8 +10,7 @@
  * (docs/REPRODUCTION.md).
  */
 
-#ifndef CAPSTAN_BENCH_UTIL_HPP
-#define CAPSTAN_BENCH_UTIL_HPP
+#pragma once
 
 #include <string>
 #include <vector>
@@ -86,4 +85,3 @@ int benchMain(const std::string &study, int argc, char **argv);
 
 } // namespace capstan::bench
 
-#endif // CAPSTAN_BENCH_UTIL_HPP

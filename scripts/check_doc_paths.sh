@@ -5,8 +5,8 @@
 #    file path that no longer exists. Keeps docs/ARCHITECTURE.md's
 #    source map honest as code moves. A "path reference" is a
 #    backtick-quoted token starting with a known top-level directory
-#    (src/, bench/, tests/, docs/, examples/, scripts/, data/,
-#    .github/) or a top-level *.md / *.json file. Tokens containing
+#    (src/, bench/, tests/, docs/, examples/, scripts/, tools/,
+#    data/, .github/) or a top-level *.md / *.json file. Tokens containing
 #    globs, spaces, or placeholders are skipped. `path:line`
 #    references check the path part only.
 #
@@ -39,7 +39,7 @@ missing="$(
             case "$token" in
                 *'*'*|*' '*|*'<'*|*'{'*|*'$'*) continue ;;
                 report.json|report.csv|metrics.csv) continue ;; # generated artifacts
-                src/*|bench/*|tests/*|docs/*|examples/*|scripts/*|data/*|.github/*) ;;
+                src/*|bench/*|tests/*|docs/*|examples/*|scripts/*|tools/*|data/*|.github/*) ;;
                 */*) continue ;;
                 *.md|*.json) ;;
                 *) continue ;;
@@ -70,6 +70,8 @@ for prog in capstan-run capstan-sweep capstan-report; do
 done
 
 failed=0
+cmd_log="$(mktemp)"
+trap 'rm -f "$cmd_log"' EXIT
 for doc in "$repo"/docs/*.md "$repo"/README.md; do
     [ -f "$doc" ] || continue
     # Join backslash continuations, then keep lines whose first token
@@ -86,12 +88,11 @@ for doc in "$repo"/docs/*.md "$repo"/README.md; do
         if ! "$build_dir/$prog" "$@" --dry-run >/dev/null 2>&1; then
             echo "BROKEN COMMAND (${doc#"$repo"/}): $cmd"
         fi
-    done > /tmp/check_doc_cmds.$$ 2>&1
-    if [ -s /tmp/check_doc_cmds.$$ ]; then
-        cat /tmp/check_doc_cmds.$$
+    done > "$cmd_log" 2>&1
+    if [ -s "$cmd_log" ]; then
+        cat "$cmd_log"
         failed=1
     fi
-    rm -f /tmp/check_doc_cmds.$$
 done
 
 if [ "$failed" = 1 ]; then

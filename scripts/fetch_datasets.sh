@@ -17,7 +17,7 @@ dir="${1:-data/real}"
 mkdir -p "$dir"
 
 fetch() {
-    url="$1" out="$2"
+    local url="$1" out="$2"
     if command -v curl >/dev/null 2>&1; then
         curl -fsSL "$url" -o "$out"
     elif command -v wget >/dev/null 2>&1; then
@@ -30,8 +30,8 @@ fetch() {
 
 # name group  (SuiteSparse: https://sparse.tamu.edu/<group>/<name>)
 suitesparse() {
-    name="$1" group="$2"
-    out="$dir/$name.mtx"
+    local name="$1" group="$2" tmp
+    local out="$dir/$name.mtx"
     if [ -f "$out" ]; then
         echo "have   $out"
         return
@@ -48,8 +48,8 @@ suitesparse() {
 }
 
 snap() {
-    name="$1"
-    out="$dir/$name.txt"
+    local name="$1" tmp
+    local out="$dir/$name.txt"
     if [ -f "$out" ]; then
         echo "have   $out"
         return

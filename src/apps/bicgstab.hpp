@@ -10,8 +10,7 @@
  * slowdown relative to SpMV alone).
  */
 
-#ifndef CAPSTAN_APPS_BICGSTAB_HPP
-#define CAPSTAN_APPS_BICGSTAB_HPP
+#pragma once
 
 #include "apps/common.hpp"
 #include "sparse/dense.hpp"
@@ -42,4 +41,3 @@ BicgstabResult runBicgstab(const CsrMatrix &m, const DenseVector &b,
 
 } // namespace capstan::apps
 
-#endif // CAPSTAN_APPS_BICGSTAB_HPP

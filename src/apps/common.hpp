@@ -8,8 +8,7 @@
  * with vector-granularity tokens; the Machine then supplies the timing.
  */
 
-#ifndef CAPSTAN_APPS_COMMON_HPP
-#define CAPSTAN_APPS_COMMON_HPP
+#pragma once
 
 #include <algorithm>
 #include <span>
@@ -85,4 +84,3 @@ double streamCompressionRatio(std::span<const Index> pointers,
 
 } // namespace capstan::apps
 
-#endif // CAPSTAN_APPS_COMMON_HPP

@@ -11,8 +11,7 @@
  * (Table 11).
  */
 
-#ifndef CAPSTAN_APPS_CONV_HPP
-#define CAPSTAN_APPS_CONV_HPP
+#pragma once
 
 #include "apps/common.hpp"
 #include "workloads/synth.hpp"
@@ -37,4 +36,3 @@ ConvResult runConv(const ConvLayer &layer, const CapstanConfig &cfg,
 
 } // namespace capstan::apps
 
-#endif // CAPSTAN_APPS_CONV_HPP

@@ -11,8 +11,7 @@
  * network dominates these apps because iterations cannot pipeline.
  */
 
-#ifndef CAPSTAN_APPS_GRAPH_HPP
-#define CAPSTAN_APPS_GRAPH_HPP
+#pragma once
 
 #include <vector>
 
@@ -61,4 +60,3 @@ SsspResult runSssp(const CsrMatrix &graph, Index source,
 
 } // namespace capstan::apps
 
-#endif // CAPSTAN_APPS_GRAPH_HPP

@@ -10,8 +10,7 @@
  * aligns the trees' leaves, pass two scans only the occupied leaves.
  */
 
-#ifndef CAPSTAN_APPS_MATADD_HPP
-#define CAPSTAN_APPS_MATADD_HPP
+#pragma once
 
 #include "apps/common.hpp"
 #include "sparse/matrix.hpp"
@@ -43,4 +42,3 @@ MatAddResult runMatAdd(const CsrMatrix &a, const CsrMatrix &b,
 
 } // namespace capstan::apps
 
-#endif // CAPSTAN_APPS_MATADD_HPP

@@ -10,8 +10,7 @@
  * trade-off Fig. 7 discusses.
  */
 
-#ifndef CAPSTAN_APPS_PAGERANK_HPP
-#define CAPSTAN_APPS_PAGERANK_HPP
+#pragma once
 
 #include "apps/common.hpp"
 #include "sparse/dense.hpp"
@@ -45,4 +44,3 @@ PageRankResult runPageRankEdge(const CsrMatrix &graph, int iterations,
 
 } // namespace capstan::apps
 
-#endif // CAPSTAN_APPS_PAGERANK_HPP

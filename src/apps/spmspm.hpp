@@ -10,8 +10,7 @@
  * activity factors (Fig. 7).
  */
 
-#ifndef CAPSTAN_APPS_SPMSPM_HPP
-#define CAPSTAN_APPS_SPMSPM_HPP
+#pragma once
 
 #include "apps/common.hpp"
 #include "sparse/matrix.hpp"
@@ -37,4 +36,3 @@ SpmspmResult runSpmspm(const CsrMatrix &a, const CsrMatrix &b,
 
 } // namespace capstan::apps
 
-#endif // CAPSTAN_APPS_SPMSPM_HPP

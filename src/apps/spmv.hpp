@@ -12,8 +12,7 @@
  *      scattering atomic updates into Out.
  */
 
-#ifndef CAPSTAN_APPS_SPMV_HPP
-#define CAPSTAN_APPS_SPMV_HPP
+#pragma once
 
 #include "apps/common.hpp"
 #include "sparse/dense.hpp"
@@ -56,4 +55,3 @@ SpmvResult runSpmvCsc(const CsrMatrix &m, const DenseVector &v,
 
 } // namespace capstan::apps
 
-#endif // CAPSTAN_APPS_SPMV_HPP

@@ -11,8 +11,7 @@
  * demonstrated throughput, 10 GOP/s.
  */
 
-#ifndef CAPSTAN_BASELINES_ASIC_MODELS_HPP
-#define CAPSTAN_BASELINES_ASIC_MODELS_HPP
+#pragma once
 
 #include "sparse/matrix.hpp"
 #include "workloads/synth.hpp"
@@ -52,4 +51,3 @@ double matraptorSeconds(double mults);
 
 } // namespace capstan::baselines
 
-#endif // CAPSTAN_BASELINES_ASIC_MODELS_HPP

@@ -13,8 +13,7 @@
  * conventional efficiency derates.
  */
 
-#ifndef CAPSTAN_BASELINES_CPU_GPU_HPP
-#define CAPSTAN_BASELINES_CPU_GPU_HPP
+#pragma once
 
 #include "sparse/dense.hpp"
 #include "sparse/matrix.hpp"
@@ -84,4 +83,3 @@ KernelProfile profileBicgstab(const CsrMatrix &m, int iterations);
 
 } // namespace capstan::baselines
 
-#endif // CAPSTAN_BASELINES_CPU_GPU_HPP

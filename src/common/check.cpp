@@ -1,0 +1,23 @@
+#include "common/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace capstan::common {
+
+void
+checkFailed(const char *expr, const char *file, int line,
+            const char *msg)
+{
+    if (msg != nullptr && msg[0] != '\0') {
+        std::fprintf(stderr, "CAPSTAN_CHECK failed: %s (%s) at %s:%d\n",
+                     msg, expr, file, line);
+    } else {
+        std::fprintf(stderr, "CAPSTAN_CHECK failed: %s at %s:%d\n",
+                     expr, file, line);
+    }
+    std::fflush(stderr);
+    std::abort();
+}
+
+} // namespace capstan::common

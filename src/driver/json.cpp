@@ -123,6 +123,8 @@ formatNumber(std::string &out, double v)
     char buf[40];
     for (int prec = 15; prec <= 17; ++prec) {
         std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        // capstan-lint: allow(raw-parse) -- round-trip probe of our own
+        // freshly formatted buffer, not user input; no error path exists.
         if (std::strtod(buf, nullptr) == v)
             break;
     }
@@ -333,6 +335,9 @@ class Parser
             fail("expected a value");
         char *end = nullptr;
         std::string tok = text_.substr(start, pos_ - start);
+        // capstan-lint: allow(raw-parse) -- this IS the JSON number
+        // grammar; the end-pointer check below rejects partial parses
+        // and fail() raises the parser's structured error.
         double v = std::strtod(tok.c_str(), &end);
         if (end == tok.c_str() ||
             end != tok.c_str() + tok.size())

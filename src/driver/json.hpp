@@ -10,8 +10,7 @@
  * to round-trip an IEEE double.
  */
 
-#ifndef CAPSTAN_DRIVER_JSON_HPP
-#define CAPSTAN_DRIVER_JSON_HPP
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -109,4 +108,3 @@ class JsonValue
 
 } // namespace capstan::driver
 
-#endif // CAPSTAN_DRIVER_JSON_HPP

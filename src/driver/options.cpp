@@ -342,7 +342,7 @@ parseArgs(const std::vector<std::string> &args)
             if (!value(v))
                 return fail("--csv requires a path");
             o.csv_output = v;
-        } else if (a.rfind("--", 0) == 0) {
+        } else if (a.starts_with("--")) {
             std::string key = a.substr(2);
             bool known = false;
             for (const auto &k : optionKeys())

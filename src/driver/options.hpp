@@ -10,8 +10,7 @@
  * exercise it without a process boundary.
  */
 
-#ifndef CAPSTAN_DRIVER_OPTIONS_HPP
-#define CAPSTAN_DRIVER_OPTIONS_HPP
+#pragma once
 
 #include <optional>
 #include <string>
@@ -164,4 +163,3 @@ std::string datasetHint();
 
 } // namespace capstan::driver
 
-#endif // CAPSTAN_DRIVER_OPTIONS_HPP

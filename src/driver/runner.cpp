@@ -41,7 +41,7 @@ defaultScale(const std::string &dataset)
         return 0.02;
     if (dataset == "p2p-Gnutella31")
         return 0.35;
-    if (dataset.rfind("ResNet", 0) == 0)
+    if (dataset.starts_with("ResNet"))
         return 0.12;
     return 1.0; // SpMSpM datasets are tiny already.
 }

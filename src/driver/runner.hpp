@@ -13,8 +13,7 @@
  * repo.
  */
 
-#ifndef CAPSTAN_DRIVER_RUNNER_HPP
-#define CAPSTAN_DRIVER_RUNNER_HPP
+#pragma once
 
 #include <string>
 
@@ -103,4 +102,3 @@ std::string statsToText(const RunResult &r);
 
 } // namespace capstan::driver
 
-#endif // CAPSTAN_DRIVER_RUNNER_HPP

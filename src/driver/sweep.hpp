@@ -23,8 +23,7 @@
  * binaries (fig5_sensitivity, table9_spmu_sensitivity).
  */
 
-#ifndef CAPSTAN_DRIVER_SWEEP_HPP
-#define CAPSTAN_DRIVER_SWEEP_HPP
+#pragma once
 
 #include <cstddef>
 #include <functional>
@@ -155,4 +154,3 @@ std::string csvField(const std::string &s);
 
 } // namespace capstan::driver
 
-#endif // CAPSTAN_DRIVER_SWEEP_HPP

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <bit>
-#include <cassert>
 #include <cstdlib>
+
+#include "common/check.hpp"
 
 namespace capstan::lang {
 
@@ -33,7 +34,7 @@ Machine::Machine(const CapstanConfig &cfg, int tiles)
       scanner_(cfg.scanner),
       eject_hold_(portCount(tiles))
 {
-    assert(tiles > 0);
+    CAPSTAN_CHECK(tiles > 0);
     tiles_.resize(tiles);
     spmus_.reserve(tiles);
     ags_.reserve(tiles);
@@ -53,7 +54,7 @@ Machine::Machine(const CapstanConfig &cfg, int tiles)
 int
 Machine::addStage(int tile, const StageSpec &spec)
 {
-    assert(tile >= 0 && tile < tiles());
+    CAPSTAN_CHECK(tile >= 0 && tile < tiles());
     Stage st;
     st.spec = spec;
     any_reduce_ = any_reduce_ || spec.kind == StageKind::Reduce;
@@ -64,8 +65,9 @@ Machine::addStage(int tile, const StageSpec &spec)
 void
 Machine::feed(int tile, const Token &token)
 {
-    assert(tile >= 0 && tile < tiles());
-    assert(!tiles_[tile].stages.empty());
+    CAPSTAN_CHECK(tile >= 0 && tile < tiles());
+    CAPSTAN_CHECK(!tiles_[tile].stages.empty(),
+                  "feed() before any addStage()");
     tiles_[tile].stages[0].in.push_back(token);
 }
 
@@ -520,10 +522,9 @@ Machine::runPhase(Cycle max_cycles)
     };
 
     while (workRemains()) {
-        if (now_ - start > max_cycles) {
-            assert(false && "Machine::runPhase exceeded watchdog");
-            break;
-        }
+        CAPSTAN_CHECK(now_ - start <= max_cycles,
+                      "Machine::runPhase exceeded its watchdog: the "
+                      "phase is not draining");
 
         // Arm the progress detector: a cycle that consumes, issues, or
         // delivers nothing (scanner burns and latency waits only) lets
@@ -609,6 +610,8 @@ Machine::runPhase(Cycle max_cycles)
                 }
                 if (!upstream_empty)
                     continue;
+                // capstan-lint: allow(unordered-iter) -- existence
+                // scan: any iteration order yields the same boolean.
                 for (const auto &[uid, p] : pending_) {
                     if (p.tile == t && p.stage < s) {
                         upstream_empty = false;
@@ -708,6 +711,8 @@ Machine::nextEventCycle() const
         // The SpMU horizon is on its local clock, which advances once
         // per machine cycle while the unit is busy.
         Cycle wake = spmu->nextEventCycle();
+        CAPSTAN_DCHECK(wake != sim::kNoEventCycle,
+                       "a non-empty SpMU must publish a horizon");
         target = std::min(target, now_ + (wake - spmu->now()));
     }
     return target;
@@ -716,6 +721,13 @@ Machine::nextEventCycle() const
 void
 Machine::fastForwardTo(Cycle target)
 {
+    // Jumps must move time forward, and only ever happen with the
+    // shuffle network drained: a busy network pins the horizon to
+    // `now_`, so a jump past in-flight vectors would skip their
+    // per-cycle movement and corrupt the cycle counts.
+    CAPSTAN_CHECK(target > now_, "fast-forward must move time forward");
+    CAPSTAN_DCHECK(shuffle_.nextEventCycle(now_) == sim::kNoEventCycle,
+                   "fast-forward with vectors in the shuffle network");
     Cycle skipped = target - now_;
     for (Tile &tile : tiles_) {
         for (Stage &st : tile.stages) {

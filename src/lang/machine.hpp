@@ -22,8 +22,7 @@
  * vector granularity with a loosely-timed network (Section 4).
  */
 
-#ifndef CAPSTAN_LANG_MACHINE_HPP
-#define CAPSTAN_LANG_MACHINE_HPP
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -240,4 +239,3 @@ class Machine
 
 } // namespace capstan::lang
 
-#endif // CAPSTAN_LANG_MACHINE_HPP

@@ -14,14 +14,14 @@
  * grow past the cap; growth doubles the array and re-linearizes.
  */
 
-#ifndef CAPSTAN_LANG_RING_HPP
-#define CAPSTAN_LANG_RING_HPP
+#pragma once
 
-#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>
+
+#include "common/check.hpp"
 
 namespace capstan::lang {
 
@@ -41,12 +41,12 @@ template <typename T> class RingQueue
 
     T &front()
     {
-        assert(!empty());
+        CAPSTAN_DCHECK(!empty());
         return buf_[head_ & mask_];
     }
     const T &front() const
     {
-        assert(!empty());
+        CAPSTAN_DCHECK(!empty());
         return buf_[head_ & mask_];
     }
 
@@ -60,7 +60,7 @@ template <typename T> class RingQueue
     /** Drop the front element; its slot (and buffers) are reused. */
     void pop_front()
     {
-        assert(!empty());
+        CAPSTAN_DCHECK(!empty());
         ++head_;
     }
 
@@ -74,6 +74,7 @@ template <typename T> class RingQueue
     {
         std::size_t cap =
             buf_.empty() ? kInitialCapacity : buf_.size() * 2;
+        CAPSTAN_CHECK(cap > size(), "ring capacity overflow");
         std::vector<T> next(cap);
         std::size_t n = size();
         for (std::size_t i = 0; i < n; ++i)
@@ -92,4 +93,3 @@ template <typename T> class RingQueue
 
 } // namespace capstan::lang
 
-#endif // CAPSTAN_LANG_RING_HPP

@@ -10,8 +10,7 @@
  * on the host and emit tokens purely for timing (DESIGN.md #3).
  */
 
-#ifndef CAPSTAN_LANG_TOKEN_HPP
-#define CAPSTAN_LANG_TOKEN_HPP
+#pragma once
 
 #include <array>
 #include <bit>
@@ -75,4 +74,3 @@ struct Token
 
 } // namespace capstan::lang
 
-#endif // CAPSTAN_LANG_TOKEN_HPP

@@ -6,8 +6,7 @@
  * each application evaluates the Table 6 datasets of its family.
  */
 
-#ifndef CAPSTAN_REPORT_CATALOG_HPP
-#define CAPSTAN_REPORT_CATALOG_HPP
+#pragma once
 
 #include <string>
 #include <vector>
@@ -37,4 +36,3 @@ double seconds(const apps::AppTiming &t);
 
 } // namespace capstan::report
 
-#endif // CAPSTAN_REPORT_CATALOG_HPP

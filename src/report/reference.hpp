@@ -15,8 +15,7 @@
  * at the tolerances REPRODUCTION.md documents for the quick preset).
  */
 
-#ifndef CAPSTAN_REPORT_REFERENCE_HPP
-#define CAPSTAN_REPORT_REFERENCE_HPP
+#pragma once
 
 #include <map>
 #include <optional>
@@ -102,4 +101,3 @@ class Reference
 
 } // namespace capstan::report
 
-#endif // CAPSTAN_REPORT_REFERENCE_HPP

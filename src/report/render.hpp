@@ -8,8 +8,7 @@
  * throughputs, not host timings).
  */
 
-#ifndef CAPSTAN_REPORT_RENDER_HPP
-#define CAPSTAN_REPORT_RENDER_HPP
+#pragma once
 
 #include <optional>
 #include <string>
@@ -68,4 +67,3 @@ driver::JsonValue reportToJson(const std::vector<StudyRun> &runs,
 
 } // namespace capstan::report
 
-#endif // CAPSTAN_REPORT_RENDER_HPP

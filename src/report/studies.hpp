@@ -6,8 +6,7 @@
  * live in studies_perf.cpp.
  */
 
-#ifndef CAPSTAN_REPORT_STUDIES_HPP
-#define CAPSTAN_REPORT_STUDIES_HPP
+#pragma once
 
 #include "report/study.hpp"
 
@@ -32,4 +31,3 @@ StudyResult runFig7(const StudyContext &ctx);
 
 } // namespace capstan::report
 
-#endif // CAPSTAN_REPORT_STUDIES_HPP

@@ -20,8 +20,7 @@
  * the sweep reports guarantee, docs/OUTPUT_SCHEMA.md).
  */
 
-#ifndef CAPSTAN_REPORT_STUDY_HPP
-#define CAPSTAN_REPORT_STUDY_HPP
+#pragma once
 
 #include <string>
 #include <utility>
@@ -115,4 +114,3 @@ const Study *findStudy(const std::string &name);
 
 } // namespace capstan::report
 
-#endif // CAPSTAN_REPORT_STUDY_HPP

@@ -1,23 +1,26 @@
 #include "sim/allocator.hpp"
 
 #include <bit>
-#include <cassert>
+
+#include "common/check.hpp"
 
 namespace capstan::sim {
 
 SeparableAllocator::SeparableAllocator(int lanes, int banks, int iterations)
     : lanes_(lanes), banks_(banks), iterations_(iterations)
 {
-    assert(lanes > 0 && lanes <= kMaxVirtualLanes);
-    assert(banks > 0 && banks <= 32);
-    assert(iterations > 0);
+    CAPSTAN_CHECK(lanes > 0 && lanes <= kMaxVirtualLanes,
+                  "lane count outside the grant bitmask");
+    CAPSTAN_CHECK(banks > 0 && banks <= 32,
+                  "bank count outside the taken bitmask");
+    CAPSTAN_CHECK(iterations > 0);
 }
 
 AllocResult
 SeparableAllocator::allocate(
     const std::vector<RequestMatrix> &iter_requests) const
 {
-    assert(!iter_requests.empty());
+    CAPSTAN_DCHECK(!iter_requests.empty());
     AllocResult result;
     std::uint32_t taken_banks = 0;
     std::uint32_t granted_lanes = 0;
@@ -69,6 +72,10 @@ SeparableAllocator::allocate(
             break;
         }
     }
+    // The two arbiter stages grant at most one bank per lane and one
+    // lane per bank, so grants can never exceed either resource.
+    CAPSTAN_DCHECK(result.grant_count <= lanes_ &&
+                   result.grant_count <= banks_);
     return result;
 }
 

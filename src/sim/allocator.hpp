@@ -19,8 +19,7 @@
  * all in round three).
  */
 
-#ifndef CAPSTAN_SIM_ALLOCATOR_HPP
-#define CAPSTAN_SIM_ALLOCATOR_HPP
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -84,4 +83,3 @@ class SeparableAllocator
 
 } // namespace capstan::sim
 
-#endif // CAPSTAN_SIM_ALLOCATOR_HPP

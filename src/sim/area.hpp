@@ -12,8 +12,7 @@
  * lookup tables so the area benches regenerate the paper's tables.
  */
 
-#ifndef CAPSTAN_SIM_AREA_HPP
-#define CAPSTAN_SIM_AREA_HPP
+#pragma once
 
 #include <string>
 #include <vector>
@@ -61,4 +60,3 @@ double weightedAreaFraction(int cus, int mus,
 
 } // namespace capstan::sim
 
-#endif // CAPSTAN_SIM_AREA_HPP

@@ -1,7 +1,8 @@
 #include "sim/compression.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.hpp"
 
 namespace capstan::sim {
 
@@ -27,7 +28,7 @@ byteWidth(std::uint32_t v)
 CompressedBurst
 compressBurst(std::span<const std::uint32_t> words)
 {
-    assert(!words.empty() &&
+    CAPSTAN_CHECK(!words.empty() &&
            words.size() <= static_cast<std::size_t>(kBurstWords));
     std::uint32_t base = *std::min_element(words.begin(), words.end());
     std::uint32_t max_off = 0;

@@ -10,8 +10,7 @@
  * which is what permits the dense encoding.
  */
 
-#ifndef CAPSTAN_SIM_COMPRESSION_HPP
-#define CAPSTAN_SIM_COMPRESSION_HPP
+#pragma once
 
 #include <cstdint>
 #include <span>
@@ -59,4 +58,3 @@ CompressionSummary compressPointerStream(std::span<const Index> pointers);
 
 } // namespace capstan::sim
 
-#endif // CAPSTAN_SIM_COMPRESSION_HPP

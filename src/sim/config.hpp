@@ -9,8 +9,7 @@
  * (capstan(), plasticine(), ...) produce the paper's design points.
  */
 
-#ifndef CAPSTAN_SIM_CONFIG_HPP
-#define CAPSTAN_SIM_CONFIG_HPP
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -183,4 +182,3 @@ struct CapstanConfig
 
 } // namespace capstan::sim
 
-#endif // CAPSTAN_SIM_CONFIG_HPP

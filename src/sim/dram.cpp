@@ -1,8 +1,9 @@
 #include "sim/dram.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.hpp"
 
 namespace capstan::sim {
 
@@ -24,7 +25,7 @@ DramModel::DramModel(const DramConfig &cfg, double clock_ghz)
       banks_(static_cast<std::size_t>(cfg.channels) *
              cfg.banks_per_channel)
 {
-    assert(cfg.channels > 0 && cfg.banks_per_channel > 0);
+    CAPSTAN_CHECK(cfg.channels > 0 && cfg.banks_per_channel > 0);
     burst_cycles_ = std::max(1.0, cfg.burst_bytes /
                                       channel_bytes_per_cycle_);
 }
@@ -115,7 +116,7 @@ AddressGenerator::nextEventCycle(Cycle now) const
 AddressGenerator::AddressGenerator(DramModel &dram, int table_entries)
     : dram_(dram), table_entries_(table_entries)
 {
-    assert(table_entries > 0);
+    CAPSTAN_CHECK(table_entries > 0);
 }
 
 Cycle

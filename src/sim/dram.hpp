@@ -16,12 +16,11 @@
  * and pends reads that would race an outstanding writeback.
  */
 
-#ifndef CAPSTAN_SIM_DRAM_HPP
-#define CAPSTAN_SIM_DRAM_HPP
+#pragma once
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "sim/config.hpp"
@@ -151,7 +150,16 @@ class AddressGenerator
 
     DramModel &dram_;
     int table_entries_;
-    std::unordered_map<std::uint64_t, BurstEntry> table_;
+    /**
+     * Ordered by burst address so every iteration — the LRU eviction
+     * scan (tie-broken toward the lowest burst), flush()'s writeback
+     * order, and the fast-forward horizon — is identical on every
+     * platform. A hash map here made those orders depend on the
+     * standard library's bucket layout (capstan-lint: determinism).
+     * The table holds at most `table_entries` (<= 64) bursts, so the
+     * tree's log-depth costs nothing measurable.
+     */
+    std::map<std::uint64_t, BurstEntry> table_;
     std::uint64_t hits_ = 0;
     std::uint64_t fetches_ = 0;
     std::uint64_t writebacks_ = 0;
@@ -159,4 +167,3 @@ class AddressGenerator
 
 } // namespace capstan::sim
 
-#endif // CAPSTAN_SIM_DRAM_HPP

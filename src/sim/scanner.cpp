@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <bit>
-#include <cassert>
+
+#include "common/check.hpp"
 
 namespace capstan::sim {
 
@@ -61,7 +62,7 @@ ScannerModel::scanBitVectors(const sparse::BitVector &a,
                              const sparse::BitVector &b,
                              ScanMode mode) const
 {
-    assert(a.size() == b.size());
+    CAPSTAN_DCHECK(a.size() == b.size());
     sparse::BitVector combined =
         (mode == ScanMode::Union) ? (a | b) : (a & b);
     return scanRegion(windowPopcounts(combined, cfg_.window_bits));

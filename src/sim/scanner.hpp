@@ -13,8 +13,7 @@
  * in Fig. 7), and a window with p set bits costs ceil(p / V) cycles.
  */
 
-#ifndef CAPSTAN_SIM_SCANNER_HPP
-#define CAPSTAN_SIM_SCANNER_HPP
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -87,4 +86,3 @@ class ScannerModel
 
 } // namespace capstan::sim
 
-#endif // CAPSTAN_SIM_SCANNER_HPP

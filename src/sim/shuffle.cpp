@@ -1,7 +1,8 @@
 #include "sim/shuffle.hpp"
 
 #include <bit>
-#include <cassert>
+
+#include "common/check.hpp"
 
 namespace capstan::sim {
 
@@ -24,8 +25,8 @@ ShuffleVector::validCount() const
 ShuffleNetwork::ShuffleNetwork(const ShuffleConfig &cfg, int lanes)
     : cfg_(cfg), lanes_(lanes)
 {
-    assert(cfg.ports >= 2 && std::has_single_bit(unsigned(cfg.ports)));
-    assert(lanes > 0 && lanes <= kMaxLanes);
+    CAPSTAN_CHECK(cfg.ports >= 2 && std::has_single_bit(unsigned(cfg.ports)));
+    CAPSTAN_CHECK(lanes > 0 && lanes <= kMaxLanes);
     stages_ = std::countr_zero(unsigned(cfg.ports));
     channels_.assign(stages_, std::vector<Channel>(cfg.ports));
     outputs_.assign(cfg.ports, Channel{});
@@ -51,7 +52,7 @@ ShuffleNetwork::shiftLimit() const
 bool
 ShuffleNetwork::tryInject(int port, const ShuffleVector &v)
 {
-    assert(port >= 0 && port < cfg_.ports);
+    CAPSTAN_DCHECK(port >= 0 && port < cfg_.ports);
     // Pure bypass: every lane already destined for this port's memory.
     bool all_local = true;
     for (int l = 0; l < lanes_; ++l) {
@@ -243,7 +244,7 @@ ShuffleNetwork::step()
 std::optional<ShuffleVector>
 ShuffleNetwork::tryEject(int port)
 {
-    assert(port >= 0 && port < cfg_.ports);
+    CAPSTAN_DCHECK(port >= 0 && port < cfg_.ports);
     Channel &out = outputs_[port];
     if (out.fifo.empty())
         return std::nullopt;

@@ -13,8 +13,7 @@
  * and is what lets the network tolerate long memory latencies.
  */
 
-#ifndef CAPSTAN_SIM_SHUFFLE_HPP
-#define CAPSTAN_SIM_SHUFFLE_HPP
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -166,4 +165,3 @@ class ShuffleNetwork
 
 } // namespace capstan::sim
 
-#endif // CAPSTAN_SIM_SHUFFLE_HPP

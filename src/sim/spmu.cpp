@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <bit>
-#include <cassert>
 #include <cmath>
 #include <unordered_map>
+
+#include "common/check.hpp"
 
 namespace capstan::sim {
 
@@ -46,9 +47,9 @@ SparseMemoryUnit::SparseMemoryUnit(const SpmuConfig &cfg, bool with_storage)
                                                   : cfg.alloc_iterations),
       bloom_(cfg.bloom_entries, 0)
 {
-    assert(cfg.lanes > 0 && cfg.lanes <= kMaxLanes);
-    assert(cfg.banks > 0 && cfg.banks <= 32);
-    assert(cfg.input_speedup == 1 || cfg.input_speedup == 2);
+    CAPSTAN_CHECK(cfg.lanes > 0 && cfg.lanes <= kMaxLanes);
+    CAPSTAN_CHECK(cfg.banks > 0 && cfg.banks <= 32);
+    CAPSTAN_CHECK(cfg.input_speedup == 1 || cfg.input_speedup == 2);
     if (with_storage)
         storage_.assign(static_cast<std::size_t>(cfg.banks) *
                             cfg.words_per_bank,
@@ -290,13 +291,13 @@ SparseMemoryUnit::executeOp(std::uint32_t addr, AccessOp op, Value operand)
 void
 SparseMemoryUnit::issueLane(Slot &slot, int lane, int bank)
 {
-    assert(slot.pending & (1u << lane));
+    CAPSTAN_DCHECK(slot.pending & (1u << lane));
     slot.pending &= static_cast<std::uint16_t>(~(1u << lane));
     if (cfg_.ordering == Ordering::AddressOrdered) {
         // Ordering is locked in once an access issues (same address =>
         // same bank => in-order completion), so it stops conflicting.
         std::size_t idx = bloomIndex(slot.av.lane[lane].addr);
-        assert(bloom_[idx] > 0);
+        CAPSTAN_DCHECK(bloom_[idx] > 0);
         --bloom_[idx];
     }
     slot.done_at[lane] = now_ + cfg_.pipeline_latency;
@@ -518,7 +519,7 @@ SparseMemoryUnit::completeLanes()
         // the original vector have drained (split vectors must not expose
         // partial results to the consumer).
         auto it = merge_.find(head.av.id);
-        assert(it != merge_.end());
+        CAPSTAN_DCHECK(it != merge_.end());
         MergeState &merge = it->second;
         for (int l = 0; l < cfg_.lanes; ++l) {
             if (head.av.lane[l].valid)
@@ -634,14 +635,14 @@ SparseMemoryUnit::tryDequeue()
 Value
 SparseMemoryUnit::peek(std::uint32_t addr) const
 {
-    assert(!storage_.empty());
+    CAPSTAN_DCHECK(!storage_.empty());
     return storage_[addr % storage_.size()];
 }
 
 void
 SparseMemoryUnit::poke(std::uint32_t addr, Value v)
 {
-    assert(!storage_.empty());
+    CAPSTAN_DCHECK(!storage_.empty());
     storage_[addr % storage_.size()] = v;
 }
 

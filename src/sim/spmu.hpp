@@ -16,8 +16,7 @@
  * examples use to validate ordering behaviour.
  */
 
-#ifndef CAPSTAN_SIM_SPMU_HPP
-#define CAPSTAN_SIM_SPMU_HPP
+#pragma once
 
 #include <array>
 #include <cstddef>
@@ -254,4 +253,3 @@ class SparseMemoryUnit
 
 } // namespace capstan::sim
 
-#endif // CAPSTAN_SIM_SPMU_HPP

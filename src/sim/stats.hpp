@@ -9,8 +9,7 @@
  * time and attributing the added cycles to each.
  */
 
-#ifndef CAPSTAN_SIM_STATS_HPP
-#define CAPSTAN_SIM_STATS_HPP
+#pragma once
 
 #include <array>
 #include <string>
@@ -71,4 +70,3 @@ StallBreakdown layerBreakdown(const StallBreakdown &synthetic,
 
 } // namespace capstan::sim
 
-#endif // CAPSTAN_SIM_STATS_HPP

@@ -1,6 +1,7 @@
 #include "sparse/bittree.hpp"
 
-#include <cassert>
+
+#include "common/check.hpp"
 
 namespace capstan::sparse {
 
@@ -9,7 +10,7 @@ BitTree::BitTree(Index size, Index leaf_bits)
       leaf_bits_(leaf_bits),
       top_((size + leaf_bits - 1) / leaf_bits)
 {
-    assert(size >= 0 && leaf_bits > 0);
+    CAPSTAN_CHECK(size >= 0 && leaf_bits > 0);
 }
 
 BitTree
@@ -31,7 +32,7 @@ BitTree::fromPositions(Index size, const std::vector<Index> &positions,
 void
 BitTree::set(Index pos)
 {
-    assert(pos >= 0 && pos < size_);
+    CAPSTAN_DCHECK(pos >= 0 && pos < size_);
     Index slot = pos / leaf_bits_;
     Index within = pos % leaf_bits_;
     if (!top_.test(slot)) {
@@ -46,7 +47,7 @@ BitTree::set(Index pos)
 bool
 BitTree::test(Index pos) const
 {
-    assert(pos >= 0 && pos < size_);
+    CAPSTAN_DCHECK(pos >= 0 && pos < size_);
     Index slot = pos / leaf_bits_;
     if (!top_.test(slot))
         return false;
@@ -65,7 +66,7 @@ BitTree::count() const
 const BitVector &
 BitTree::leaf(Index leaf_slot) const
 {
-    assert(leaf_slot >= 0 &&
+    CAPSTAN_DCHECK(leaf_slot >= 0 &&
            leaf_slot < static_cast<Index>(leaves_.size()));
     return leaves_[leaf_slot];
 }
@@ -107,7 +108,7 @@ namespace {
 std::vector<AlignedLeafPair>
 alignImpl(const BitTree &a, const BitTree &b, bool is_union)
 {
-    assert(a.size() == b.size() && a.leafBits() == b.leafBits());
+    CAPSTAN_DCHECK(a.size() == b.size() && a.leafBits() == b.leafBits());
     const BitVector &ta = a.topLevel();
     const BitVector &tb = b.topLevel();
     BitVector merged = is_union ? (ta | tb) : (ta & tb);

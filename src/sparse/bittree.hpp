@@ -13,8 +13,7 @@
  * runs nested sparse-sparse scans over the aligned leaves.
  */
 
-#ifndef CAPSTAN_SPARSE_BITTREE_HPP
-#define CAPSTAN_SPARSE_BITTREE_HPP
+#pragma once
 
 #include <vector>
 
@@ -110,4 +109,3 @@ std::vector<AlignedLeafPair> alignUnion(const BitTree &a, const BitTree &b);
 
 } // namespace capstan::sparse
 
-#endif // CAPSTAN_SPARSE_BITTREE_HPP

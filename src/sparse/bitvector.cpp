@@ -1,7 +1,8 @@
 #include "sparse/bitvector.hpp"
 
 #include <bit>
-#include <cassert>
+
+#include "common/check.hpp"
 
 namespace capstan::sparse {
 
@@ -20,7 +21,7 @@ wordCount(Index bits)
 BitVector::BitVector(Index size)
     : size_(size), words_(wordCount(size), 0)
 {
-    assert(size >= 0);
+    CAPSTAN_CHECK(size >= 0);
 }
 
 BitVector::BitVector(Index size, const std::vector<Index> &set_positions)
@@ -33,21 +34,21 @@ BitVector::BitVector(Index size, const std::vector<Index> &set_positions)
 bool
 BitVector::test(Index pos) const
 {
-    assert(pos >= 0 && pos < size_);
+    CAPSTAN_DCHECK(pos >= 0 && pos < size_);
     return (words_[pos / kWordBits] >> (pos % kWordBits)) & 1;
 }
 
 void
 BitVector::set(Index pos)
 {
-    assert(pos >= 0 && pos < size_);
+    CAPSTAN_DCHECK(pos >= 0 && pos < size_);
     words_[pos / kWordBits] |= std::uint64_t{1} << (pos % kWordBits);
 }
 
 void
 BitVector::reset(Index pos)
 {
-    assert(pos >= 0 && pos < size_);
+    CAPSTAN_DCHECK(pos >= 0 && pos < size_);
     words_[pos / kWordBits] &= ~(std::uint64_t{1} << (pos % kWordBits));
 }
 
@@ -78,7 +79,7 @@ BitVector::count() const
 Index
 BitVector::rank(Index pos) const
 {
-    assert(pos >= 0 && pos <= size_);
+    CAPSTAN_DCHECK(pos >= 0 && pos <= size_);
     Index full_words = pos / kWordBits;
     Index total = 0;
     for (Index i = 0; i < full_words; ++i)
@@ -143,7 +144,7 @@ BitVector::toPositions() const
 BitVector
 BitVector::operator&(const BitVector &other) const
 {
-    assert(size_ == other.size_);
+    CAPSTAN_DCHECK(size_ == other.size_);
     BitVector out(size_);
     for (std::size_t i = 0; i < words_.size(); ++i)
         out.words_[i] = words_[i] & other.words_[i];
@@ -153,7 +154,7 @@ BitVector::operator&(const BitVector &other) const
 BitVector
 BitVector::operator|(const BitVector &other) const
 {
-    assert(size_ == other.size_);
+    CAPSTAN_DCHECK(size_ == other.size_);
     BitVector out(size_);
     for (std::size_t i = 0; i < words_.size(); ++i)
         out.words_[i] = words_[i] | other.words_[i];
@@ -163,7 +164,7 @@ BitVector::operator|(const BitVector &other) const
 BitVector
 BitVector::andNot(const BitVector &other) const
 {
-    assert(size_ == other.size_);
+    CAPSTAN_DCHECK(size_ == other.size_);
     BitVector out(size_);
     for (std::size_t i = 0; i < words_.size(); ++i)
         out.words_[i] = words_[i] & ~other.words_[i];
@@ -179,7 +180,7 @@ BitVector::operator==(const BitVector &other) const
 std::uint64_t
 BitVector::window64(Index pos) const
 {
-    assert(pos >= 0);
+    CAPSTAN_DCHECK(pos >= 0);
     if (pos >= size_)
         return 0;
     Index wi = pos / kWordBits;

@@ -9,8 +9,7 @@
  * produces (Section 2.2).
  */
 
-#ifndef CAPSTAN_SPARSE_BITVECTOR_HPP
-#define CAPSTAN_SPARSE_BITVECTOR_HPP
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -108,4 +107,3 @@ class BitVector
 
 } // namespace capstan::sparse
 
-#endif // CAPSTAN_SPARSE_BITVECTOR_HPP

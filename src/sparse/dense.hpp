@@ -7,14 +7,14 @@
  * row-major containers; nothing clever, just enough for the applications.
  */
 
-#ifndef CAPSTAN_SPARSE_DENSE_HPP
-#define CAPSTAN_SPARSE_DENSE_HPP
+#pragma once
 
-#include <cassert>
 #include <utility>
 #include <vector>
 
 #include "sparse/types.hpp"
+
+#include "common/check.hpp"
 
 namespace capstan::sparse {
 
@@ -30,12 +30,12 @@ class DenseVector
 
     Value operator[](Index i) const
     {
-        assert(i >= 0 && i < size());
+        CAPSTAN_DCHECK(i >= 0 && i < size());
         return data_[i];
     }
     Value &operator[](Index i)
     {
-        assert(i >= 0 && i < size());
+        CAPSTAN_DCHECK(i >= 0 && i < size());
         return data_[i];
     }
 
@@ -66,12 +66,12 @@ class DenseMatrix
 
     Value operator()(Index r, Index c) const
     {
-        assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+        CAPSTAN_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
         return data_[Index64(r) * cols_ + c];
     }
     Value &operator()(Index r, Index c)
     {
-        assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+        CAPSTAN_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
         return data_[Index64(r) * cols_ + c];
     }
 
@@ -101,12 +101,12 @@ class DenseTensor3
 
     Value operator()(Index i, Index j, Index k) const
     {
-        assert(inBounds(i, j, k));
+        CAPSTAN_DCHECK(inBounds(i, j, k));
         return data_[(Index64(i) * d1_ + j) * d2_ + k];
     }
     Value &operator()(Index i, Index j, Index k)
     {
-        assert(inBounds(i, j, k));
+        CAPSTAN_DCHECK(inBounds(i, j, k));
         return data_[(Index64(i) * d1_ + j) * d2_ + k];
     }
 
@@ -168,4 +168,3 @@ class DenseTensor4
 
 } // namespace capstan::sparse
 
-#endif // CAPSTAN_SPARSE_DENSE_HPP

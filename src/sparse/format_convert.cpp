@@ -1,6 +1,7 @@
 #include "sparse/format_convert.hpp"
 
-#include <cassert>
+
+#include "common/check.hpp"
 
 namespace capstan::sparse {
 
@@ -24,7 +25,7 @@ bitVectorToPointers(const BitVector &bv)
 std::vector<BitVector>
 pointersToWindows(std::span<const Index> pointers, Index space, Index width)
 {
-    assert(width > 0);
+    CAPSTAN_CHECK(width > 0);
     Index num_windows = (space + width - 1) / width;
     std::vector<BitVector> windows(num_windows, BitVector(width));
     for (Index p : pointers) {

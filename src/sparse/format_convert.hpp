@@ -10,8 +10,7 @@
  * bit-vector windows for vectorized intersection.
  */
 
-#ifndef CAPSTAN_SPARSE_FORMAT_CONVERT_HPP
-#define CAPSTAN_SPARSE_FORMAT_CONVERT_HPP
+#pragma once
 
 #include <span>
 #include <vector>
@@ -45,4 +44,3 @@ BitTree pointersToBitTree(std::span<const Index> pointers, Index space,
 
 } // namespace capstan::sparse
 
-#endif // CAPSTAN_SPARSE_FORMAT_CONVERT_HPP

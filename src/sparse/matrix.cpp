@@ -1,8 +1,9 @@
 #include "sparse/matrix.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
+
+#include "common/check.hpp"
 
 namespace capstan::sparse {
 
@@ -123,7 +124,7 @@ CsrMatrix::fromParts(Index rows, Index cols,
 std::span<const Index>
 CsrMatrix::rowIndices(Index r) const
 {
-    assert(r >= 0 && r < rows_);
+    CAPSTAN_DCHECK(r >= 0 && r < rows_);
     return {col_idx_.data() + row_ptr_[r],
             static_cast<std::size_t>(rowLength(r))};
 }
@@ -131,7 +132,7 @@ CsrMatrix::rowIndices(Index r) const
 std::span<const Value>
 CsrMatrix::rowValues(Index r) const
 {
-    assert(r >= 0 && r < rows_);
+    CAPSTAN_DCHECK(r >= 0 && r < rows_);
     return {values_.data() + row_ptr_[r],
             static_cast<std::size_t>(rowLength(r))};
 }
@@ -233,7 +234,7 @@ DcsrMatrix::fromCsr(const CsrMatrix &csr)
 std::span<const Index>
 DcsrMatrix::storedRowIndices(Index sr) const
 {
-    assert(sr >= 0 && sr < storedRows());
+    CAPSTAN_DCHECK(sr >= 0 && sr < storedRows());
     return {col_idx_.data() + row_ptr_[sr],
             static_cast<std::size_t>(row_ptr_[sr + 1] - row_ptr_[sr])};
 }
@@ -241,7 +242,7 @@ DcsrMatrix::storedRowIndices(Index sr) const
 std::span<const Value>
 DcsrMatrix::storedRowValues(Index sr) const
 {
-    assert(sr >= 0 && sr < storedRows());
+    CAPSTAN_DCHECK(sr >= 0 && sr < storedRows());
     return {values_.data() + row_ptr_[sr],
             static_cast<std::size_t>(row_ptr_[sr + 1] - row_ptr_[sr])};
 }

@@ -9,8 +9,7 @@
  * column-major for CSC).
  */
 
-#ifndef CAPSTAN_SPARSE_MATRIX_HPP
-#define CAPSTAN_SPARSE_MATRIX_HPP
+#pragma once
 
 #include <span>
 #include <vector>
@@ -253,4 +252,3 @@ class DcscMatrix
 
 } // namespace capstan::sparse
 
-#endif // CAPSTAN_SPARSE_MATRIX_HPP

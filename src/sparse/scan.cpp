@@ -1,6 +1,7 @@
 #include "sparse/scan.hpp"
 
-#include <cassert>
+
+#include "common/check.hpp"
 
 namespace capstan::sparse {
 
@@ -62,14 +63,14 @@ scan(const BitVector &a)
 std::vector<ScanEntry>
 scanIntersect(const BitVector &a, const BitVector &b)
 {
-    assert(a.size() == b.size());
+    CAPSTAN_DCHECK(a.size() == b.size());
     return scanImpl(a, &b, Mode::Intersect);
 }
 
 std::vector<ScanEntry>
 scanUnion(const BitVector &a, const BitVector &b)
 {
-    assert(a.size() == b.size());
+    CAPSTAN_DCHECK(a.size() == b.size());
     return scanImpl(a, &b, Mode::Union);
 }
 

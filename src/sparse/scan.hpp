@@ -16,8 +16,7 @@
  * model of *how fast* lives in sim/scanner.
  */
 
-#ifndef CAPSTAN_SPARSE_SCAN_HPP
-#define CAPSTAN_SPARSE_SCAN_HPP
+#pragma once
 
 #include <vector>
 
@@ -51,4 +50,3 @@ std::vector<ScanEntry> scanUnion(const BitVector &a, const BitVector &b);
 
 } // namespace capstan::sparse
 
-#endif // CAPSTAN_SPARSE_SCAN_HPP

@@ -7,8 +7,7 @@
  * addresses (Table 7: 16 banks x 4096 32-bit words per memory).
  */
 
-#ifndef CAPSTAN_SPARSE_TYPES_HPP
-#define CAPSTAN_SPARSE_TYPES_HPP
+#pragma once
 
 #include <cstdint>
 
@@ -28,4 +27,3 @@ constexpr Index kNoIndex = -1;
 
 } // namespace capstan
 
-#endif // CAPSTAN_SPARSE_TYPES_HPP

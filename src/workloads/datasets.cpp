@@ -173,7 +173,7 @@ std::optional<std::string>
 realDatasetPath(const std::string &name,
                 const std::string &dataset_dir)
 {
-    if (name.rfind("file:", 0) == 0) {
+    if (name.starts_with("file:")) {
         std::string path = name.substr(5);
         if (path.empty())
             return std::nullopt;
@@ -187,7 +187,7 @@ realDatasetPath(const std::string &name,
         }
         return std::nullopt;
     }
-    if (name.rfind("mtx:", 0) == 0) {
+    if (name.starts_with("mtx:")) {
         std::string base = name.substr(4);
         if (base.empty() || dataset_dir.empty())
             return std::nullopt;
@@ -207,8 +207,8 @@ resolveMatrixDataset(const std::string &name, double scale,
                      const std::string &dataset_dir, CacheMode cache)
 {
     validateScale(scale);
-    bool is_scheme = name.rfind("file:", 0) == 0 ||
-                     name.rfind("mtx:", 0) == 0;
+    bool is_scheme = name.starts_with("file:") ||
+                     name.starts_with("mtx:");
     if (auto path = realDatasetPath(name, dataset_dir)) {
         // Real files have exactly one size; only warn when the user
         // named the file explicitly AND asked for a non-unit scale
@@ -222,7 +222,7 @@ resolveMatrixDataset(const std::string &name, double scale,
                          *path + "' as-is");
         return {name, loadRealMatrix(*path, cache), *path};
     }
-    if (name.rfind("file:", 0) == 0) {
+    if (name.starts_with("file:")) {
         std::string path = name.substr(5);
         if (path.empty())
             throw DatasetError("'file:' needs a path (file:PATH)");
@@ -233,7 +233,7 @@ resolveMatrixDataset(const std::string &name, double scale,
         throw DatasetError("dataset file '" + path + "' not found" +
                            also);
     }
-    if (name.rfind("mtx:", 0) == 0) {
+    if (name.starts_with("mtx:")) {
         std::string base = name.substr(4);
         if (base.empty())
             throw DatasetError("'mtx:' needs a name (mtx:NAME)");

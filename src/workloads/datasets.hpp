@@ -10,8 +10,7 @@
  * paper, p2p-Gnutella31 substitutes for flickr in sensitivity studies.
  */
 
-#ifndef CAPSTAN_WORKLOADS_DATASETS_HPP
-#define CAPSTAN_WORKLOADS_DATASETS_HPP
+#pragma once
 
 #include <optional>
 #include <string>
@@ -108,4 +107,3 @@ ConvDataset loadConvDataset(const std::string &name, double scale = 1.0);
 
 } // namespace capstan::workloads
 
-#endif // CAPSTAN_WORKLOADS_DATASETS_HPP

@@ -13,6 +13,8 @@
 #include <system_error>
 #include <vector>
 
+#include "common/check.hpp"
+
 namespace capstan::workloads {
 
 using sparse::CsrMatrix;
@@ -386,6 +388,13 @@ readCache(const std::string &cache_path, std::uint64_t src_size,
     } catch (const std::invalid_argument &) {
         return false; // Corrupt cache: rebuild from the text.
     }
+    // Everything above treats the header as untrusted input (a bad
+    // cache re-parses the text); past this point a mismatch between
+    // the accepted header and the built matrix is our bug, not the
+    // file's.
+    CAPSTAN_CHECK(out.rows() == h.rows && out.cols() == h.cols &&
+                      static_cast<std::uint64_t>(out.nnz()) == h.nnz,
+                  "cache header accepted but mismatches the matrix");
     return true;
 }
 
@@ -406,6 +415,13 @@ writeCache(const std::string &cache_path, std::uint64_t src_size,
         h.rows = m.rows();
         h.cols = m.cols();
         h.nnz = static_cast<std::uint64_t>(m.nnz());
+        // CsrMatrix::fromParts guarantees these; a violation here
+        // would serialize a cache readCache() rejects forever.
+        CAPSTAN_CHECK(m.rowPtr().size() ==
+                          static_cast<std::size_t>(m.rows()) + 1 &&
+                      m.colIdx().size() == h.nnz &&
+                      m.values().size() == h.nnz,
+                  "cache write would not match its own header");
         auto writeVec = [&](const auto &vec) {
             out.write(reinterpret_cast<const char *>(vec.data()),
                       static_cast<std::streamsize>(vec.size() *

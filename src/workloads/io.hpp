@@ -26,8 +26,7 @@
  * never trusted.
  */
 
-#ifndef CAPSTAN_WORKLOADS_IO_HPP
-#define CAPSTAN_WORKLOADS_IO_HPP
+#pragma once
 
 #include <iosfwd>
 #include <stdexcept>
@@ -90,4 +89,3 @@ sparse::CsrMatrix loadRealMatrix(const std::string &path,
 
 } // namespace capstan::workloads
 
-#endif // CAPSTAN_WORKLOADS_IO_HPP

@@ -1,10 +1,11 @@
 #include "workloads/synth.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <random>
 #include <unordered_set>
+
+#include "common/check.hpp"
 
 namespace capstan::workloads {
 
@@ -23,7 +24,7 @@ randomValue(std::mt19937 &rng)
 CsrMatrix
 circuitMatrix(Index n, Index64 target_nnz, std::uint32_t seed)
 {
-    assert(n > 1);
+    CAPSTAN_CHECK(n > 1);
     std::mt19937 rng(seed);
     std::vector<Triplet> trip;
     trip.reserve(target_nnz);
@@ -71,7 +72,7 @@ trefethenMatrix(Index n)
 CsrMatrix
 femMatrix(Index n, Index nnz_per_row, Index bandwidth, std::uint32_t seed)
 {
-    assert(bandwidth > nnz_per_row);
+    CAPSTAN_CHECK(bandwidth > nnz_per_row);
     std::mt19937 rng(seed);
     std::vector<Triplet> trip;
     trip.reserve(static_cast<Index64>(n) * nnz_per_row);

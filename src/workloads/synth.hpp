@@ -9,8 +9,7 @@
  * and diagonal locality. All generators are deterministic in their seed.
  */
 
-#ifndef CAPSTAN_WORKLOADS_SYNTH_HPP
-#define CAPSTAN_WORKLOADS_SYNTH_HPP
+#pragma once
 
 #include <cstdint>
 
@@ -91,4 +90,3 @@ ConvLayer convLayer(Index dim, Index kdim, Index in_channels,
 
 } // namespace capstan::workloads
 
-#endif // CAPSTAN_WORKLOADS_SYNTH_HPP

@@ -1,7 +1,8 @@
 #include "workloads/tiling.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.hpp"
 
 namespace capstan::workloads {
 
@@ -23,7 +24,7 @@ Tiling::imbalance() const
 Tiling
 Tiling::byWeight(const sparse::CsrMatrix &m, int tiles)
 {
-    assert(tiles > 0);
+    CAPSTAN_CHECK(tiles > 0);
     Tiling t;
     t.rows_of_.resize(tiles);
     t.weight_of_.assign(tiles, 0);
@@ -55,7 +56,7 @@ Tiling::byWeight(const sparse::CsrMatrix &m, int tiles)
 Tiling
 Tiling::roundRobin(Index rows, int tiles)
 {
-    assert(tiles > 0);
+    CAPSTAN_CHECK(tiles > 0);
     Tiling t;
     t.rows_of_.resize(tiles);
     t.weight_of_.assign(tiles, 0);

@@ -11,8 +11,7 @@
  * shuffle network (DESIGN.md #5).
  */
 
-#ifndef CAPSTAN_WORKLOADS_TILING_HPP
-#define CAPSTAN_WORKLOADS_TILING_HPP
+#pragma once
 
 #include <vector>
 
@@ -61,4 +60,3 @@ class Tiling
 
 } // namespace capstan::workloads
 
-#endif // CAPSTAN_WORKLOADS_TILING_HPP

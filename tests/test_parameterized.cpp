@@ -295,6 +295,6 @@ INSTANTIATE_TEST_SUITE_P(
                         c.shuffle.mode = sim::MergeMode::Mrg16;
                         return c;
                     }()}),
-    [](const ::testing::TestParamInfo<MachineCase> &info) {
-        return info.param.name;
+    [](const ::testing::TestParamInfo<MachineCase> &case_info) {
+        return case_info.param.name;
     });

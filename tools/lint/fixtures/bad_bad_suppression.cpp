@@ -1,0 +1,11 @@
+// Fixture: an allow-comment without a justification. Suppressions must
+// say WHY the flagged line is safe, or they are findings themselves.
+#include <map>
+
+void
+noop()
+{
+    // capstan-lint: allow(unordered-iter)
+    std::map<int, int> ordered;
+    (void)ordered;
+}

@@ -1,0 +1,10 @@
+// Fixture: std::random_device is a per-run entropy source; results
+// seeded from it can never be byte-compared across machines.
+#include <random>
+
+unsigned
+pickSeed()
+{
+    std::random_device rd;
+    return rd();
+}

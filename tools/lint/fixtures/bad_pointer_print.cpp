@@ -1,0 +1,9 @@
+// Fixture: streaming an address. ASLR randomizes it per run, so any
+// report containing it stops being byte-identical.
+#include <iostream>
+
+void
+debugDump(int value)
+{
+    std::cout << &value << "\n";
+}

@@ -1,0 +1,7 @@
+// Fixture: a header with no #pragma once. Double inclusion would
+// redefine everything below.
+inline int
+twice(int x)
+{
+    return 2 * x;
+}

@@ -1,0 +1,11 @@
+// Fixture: raw stoi() throws std::invalid_argument on bad input
+// instead of the exit-2 usage error the CLI contract promises; all
+// numeric parsing must route through the helpers in
+// src/driver/options.cpp.
+#include <string>
+
+int
+parseWidth(const std::string &arg)
+{
+    return std::stoi(arg);
+}

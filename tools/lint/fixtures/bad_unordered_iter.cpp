@@ -1,0 +1,14 @@
+// Fixture: iterating a std::unordered_map feeds bucket order into the
+// output. capstan-lint must flag the range-for below.
+#include <cstdio>
+#include <unordered_map>
+
+void
+dumpCounters()
+{
+    std::unordered_map<int, long> counters_;
+    counters_[3] = 7;
+    for (const auto &[key, value] : counters_) {
+        std::printf("%d=%ld\n", key, value);
+    }
+}

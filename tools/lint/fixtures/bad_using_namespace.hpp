@@ -1,0 +1,13 @@
+// Fixture: using-namespace in a header leaks the whole namespace into
+// every translation unit that includes it.
+#pragma once
+
+#include <vector>
+
+using namespace std;
+
+inline vector<int>
+empty_list()
+{
+    return {};
+}

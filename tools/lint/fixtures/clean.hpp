@@ -1,0 +1,15 @@
+// Fixture: a well-formed header — #pragma once first, no namespace
+// leaks, fully qualified names.
+#pragma once
+
+#include <vector>
+
+namespace fixture {
+
+inline std::vector<int>
+empty_list()
+{
+    return {};
+}
+
+} // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: suppression mechanics — a justified allow-comment silences
+// exactly the next statement's finding, so this file must lint clean.
+#include <unordered_map>
+
+bool
+anyNegative(const std::unordered_map<int, int> &pending)
+{
+    // capstan-lint: allow(unordered-iter) -- existence scan: every
+    // iteration order yields the same boolean.
+    for (const auto &[key, value] : pending) {
+        if (value < 0)
+            return true;
+    }
+    return false;
+}
