@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# check_intra_determinism: binary-level differential determinism check
+# for intra-run parallelism.
+#
+# The in-process harness (tests/test_intra_parallel.cpp) proves the
+# Machine's stats are byte-identical at every --intra-jobs value; this
+# script proves the same through the real binaries, where a divergence
+# could also come from CLI plumbing, the report renderers, or
+# environment handling:
+#
+#   1. `capstan-report --all --preset quick` must emit byte-identical
+#      JSON at --intra-jobs 1, --intra-jobs 8, and --intra-jobs 8
+#      under CAPSTAN_NO_INTRA=1 (the serial bisect switch).
+#   2. Single runs must be byte-identical across --intra-jobs and
+#      under CAPSTAN_NO_FF=1 x CAPSTAN_NO_INTRA=1. The fast-forward
+#      switch is latched once per process (static-cached in the
+#      stepping engine), so these points *require* the process
+#      boundary only a shell harness provides — they cannot be
+#      toggled inside the gtest binary.
+#
+# Usage: check_intra_determinism.sh [build-dir]   (default: build)
+set -euo pipefail
+
+build_dir="${1:-build}"
+run="$build_dir/capstan-run"
+report="$build_dir/capstan-report"
+[ -x "$run" ] || { echo "missing $run" >&2; exit 1; }
+[ -x "$report" ] || { echo "missing $report" >&2; exit 1; }
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+fail() {
+    echo "check_intra_determinism: FAIL — $1" >&2
+    exit 1
+}
+
+# --- 1. Full quick report across worker counts. --------------------------
+quick=(--all --preset quick --markdown none)
+"$report" "${quick[@]}" --intra-jobs 1 --json "$tmp/r1.json" \
+    >/dev/null 2>&1
+"$report" "${quick[@]}" --intra-jobs 8 --json "$tmp/r8.json" \
+    >/dev/null 2>&1
+cmp -s "$tmp/r1.json" "$tmp/r8.json" ||
+    fail "quick report diverged between --intra-jobs 1 and 8"
+CAPSTAN_NO_INTRA=1 "$report" "${quick[@]}" --intra-jobs 8 \
+    --json "$tmp/rni.json" >/dev/null 2>&1
+cmp -s "$tmp/r1.json" "$tmp/rni.json" ||
+    fail "quick report diverged under CAPSTAN_NO_INTRA=1"
+echo "quick report: byte-identical at intra-jobs 1 / 8 / kill-switch"
+
+# --- 2. Single runs crossed with the fast-forward kill switch. -----------
+point=(--scale 0.02 --tiles 4 --iterations 1 --json)
+for app in pagerank bfs spmspm; do
+    "$run" --app "$app" "${point[@]}" --intra-jobs 1 \
+        --output "$tmp/$app.base.json"
+    "$run" --app "$app" "${point[@]}" --intra-jobs 8 \
+        --output "$tmp/$app.i8.json"
+    cmp -s "$tmp/$app.base.json" "$tmp/$app.i8.json" ||
+        fail "$app diverged at --intra-jobs 8"
+    CAPSTAN_NO_FF=1 "$run" --app "$app" "${point[@]}" --intra-jobs 8 \
+        --output "$tmp/$app.noff.json"
+    cmp -s "$tmp/$app.base.json" "$tmp/$app.noff.json" ||
+        fail "$app diverged under CAPSTAN_NO_FF=1 --intra-jobs 8"
+    CAPSTAN_NO_FF=1 CAPSTAN_NO_INTRA=1 "$run" --app "$app" \
+        "${point[@]}" --intra-jobs 8 --output "$tmp/$app.serial.json"
+    cmp -s "$tmp/$app.base.json" "$tmp/$app.serial.json" ||
+        fail "$app diverged under CAPSTAN_NO_FF=1 CAPSTAN_NO_INTRA=1"
+    echo "$app: byte-identical across intra-jobs x {ff, no-ff}"
+done
+
+echo "check_intra_determinism: OK"

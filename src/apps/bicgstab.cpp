@@ -78,7 +78,7 @@ bicgstabReference(const CsrMatrix &m, const DenseVector &b,
 
 BicgstabResult
 runBicgstab(const CsrMatrix &m, const DenseVector &b, int iterations,
-            const CapstanConfig &cfg, int tiles)
+            const CapstanConfig &cfg, int tiles, int intra_jobs)
 {
     BicgstabResult res;
     auto [x, resid] = bicgstabSolve(m, b, iterations);
@@ -86,7 +86,7 @@ runBicgstab(const CsrMatrix &m, const DenseVector &b, int iterations,
     res.residual_norm = resid;
     res.iterations_run = iterations;
 
-    Machine mach(cfg, tiles);
+    Machine mach(cfg, tiles, intra_jobs);
     if (cfg.dram.compression)
         mach.setStreamCompression(
             streamCompressionRatio(m.colIdx(), 0.5));

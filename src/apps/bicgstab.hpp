@@ -37,7 +37,8 @@ DenseVector bicgstabReference(const CsrMatrix &m, const DenseVector &b,
 /** Fused BiCGStab on Capstan. */
 BicgstabResult runBicgstab(const CsrMatrix &m, const DenseVector &b,
                            int iterations, const CapstanConfig &cfg,
-                           int tiles = kDefaultTiles);
+                           int tiles = kDefaultTiles,
+                           int intra_jobs = 1);
 
 } // namespace capstan::apps
 

@@ -39,7 +39,8 @@ convReference(const ConvLayer &layer)
 }
 
 ConvResult
-runConv(const ConvLayer &layer, const CapstanConfig &cfg, int tiles)
+runConv(const ConvLayer &layer, const CapstanConfig &cfg, int tiles,
+        int intra_jobs)
 {
     ConvResult res;
     res.out = convReference(layer);
@@ -66,7 +67,7 @@ runConv(const ConvLayer &layer, const CapstanConfig &cfg, int tiles)
         }
     }
 
-    Machine mach(cfg, tiles);
+    Machine mach(cfg, tiles, intra_jobs);
 
     // Phase 0: broadcast the pruned kernel on-chip (8 B per stored
     // weight, split across tiles by the multicast network).

@@ -32,7 +32,8 @@ sparse::DenseTensor3 convReference(const ConvLayer &layer);
 
 /** Sparse convolution on Capstan. */
 ConvResult runConv(const ConvLayer &layer, const CapstanConfig &cfg,
-                   int tiles = kDefaultTiles);
+                   int tiles = kDefaultTiles,
+                   int intra_jobs = 1);
 
 } // namespace capstan::apps
 

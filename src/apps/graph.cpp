@@ -143,13 +143,13 @@ ssspReference(const CsrMatrix &graph, Index source)
 
 BfsResult
 runBfs(const CsrMatrix &graph, Index source, const CapstanConfig &cfg,
-       int tiles, bool write_pointers)
+       int tiles, bool write_pointers, int intra_jobs)
 {
     BfsResult res;
     res.level.assign(graph.rows(), -1);
     res.parent.assign(graph.rows(), -1);
 
-    Machine mach(cfg, tiles);
+    Machine mach(cfg, tiles, intra_jobs);
     if (cfg.dram.compression)
         mach.setStreamCompression(
             streamCompressionRatio(graph.colIdx(), 0.5));
@@ -202,14 +202,14 @@ runBfs(const CsrMatrix &graph, Index source, const CapstanConfig &cfg,
 
 SsspResult
 runSssp(const CsrMatrix &graph, Index source, const CapstanConfig &cfg,
-        int tiles, bool write_pointers)
+        int tiles, bool write_pointers, int intra_jobs)
 {
     constexpr Value inf = std::numeric_limits<Value>::infinity();
     SsspResult res;
     res.dist.assign(graph.rows(), inf);
     res.parent.assign(graph.rows(), -1);
 
-    Machine mach(cfg, tiles);
+    Machine mach(cfg, tiles, intra_jobs);
     if (cfg.dram.compression)
         mach.setStreamCompression(
             streamCompressionRatio(graph.colIdx(), 0.5));

@@ -51,12 +51,14 @@ std::vector<Value> ssspReference(const CsrMatrix &graph, Index source);
  */
 BfsResult runBfs(const CsrMatrix &graph, Index source,
                  const CapstanConfig &cfg, int tiles = kDefaultTiles,
-                 bool write_pointers = true);
+                 bool write_pointers = true,
+                 int intra_jobs = 1);
 
 /** Frontier-based SSSP (Bellman-Ford style) on Capstan. */
 SsspResult runSssp(const CsrMatrix &graph, Index source,
                    const CapstanConfig &cfg, int tiles = kDefaultTiles,
-                   bool write_pointers = true);
+                   bool write_pointers = true,
+                 int intra_jobs = 1);
 
 } // namespace capstan::apps
 

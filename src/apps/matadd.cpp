@@ -39,12 +39,13 @@ matAddReference(const CsrMatrix &a, const CsrMatrix &b)
 
 MatAddResult
 runMatAdd(const CsrMatrix &a, const CsrMatrix &b,
-          const CapstanConfig &cfg, int tiles, bool use_bittree)
+          const CapstanConfig &cfg, int tiles, bool use_bittree,
+          int intra_jobs)
 {
     MatAddResult res;
     res.sum = matAddReference(a, b);
 
-    Machine mach(cfg, tiles);
+    Machine mach(cfg, tiles, intra_jobs);
     Tiling tiling = Tiling::roundRobin(a.rows(), tiles);
     int window_bits = std::max(1, cfg.scanner.window_bits);
     const Index leaf_bits = 256;

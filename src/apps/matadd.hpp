@@ -38,7 +38,8 @@ CsrMatrix matAddReference(const CsrMatrix &a, const CsrMatrix &b);
 MatAddResult runMatAdd(const CsrMatrix &a, const CsrMatrix &b,
                        const CapstanConfig &cfg,
                        int tiles = kDefaultTiles,
-                       bool use_bittree = true);
+                       bool use_bittree = true,
+                       int intra_jobs = 1);
 
 } // namespace capstan::apps
 

@@ -32,7 +32,7 @@ pageRankReference(const CsrMatrix &graph, int iterations, Value damping)
 
 PageRankResult
 runPageRankPull(const CsrMatrix &graph, int iterations,
-                const CapstanConfig &cfg, int tiles)
+                const CapstanConfig &cfg, int tiles, int intra_jobs)
 {
     PageRankResult res;
     res.ranks = pageRankReference(graph, iterations);
@@ -40,7 +40,7 @@ runPageRankPull(const CsrMatrix &graph, int iterations,
     // Pull iterates in-edges: build the transpose once (offline format
     // preparation, as the paper's tiling step does).
     CsrMatrix in_edges = graph.transpose();
-    Machine mach(cfg, tiles);
+    Machine mach(cfg, tiles, intra_jobs);
     if (cfg.dram.compression)
         mach.setStreamCompression(
             streamCompressionRatio(in_edges.colIdx(), 1.0));
@@ -99,12 +99,12 @@ runPageRankPull(const CsrMatrix &graph, int iterations,
 
 PageRankResult
 runPageRankEdge(const CsrMatrix &graph, int iterations,
-                const CapstanConfig &cfg, int tiles)
+                const CapstanConfig &cfg, int tiles, int intra_jobs)
 {
     PageRankResult res;
     res.ranks = pageRankReference(graph, iterations);
 
-    Machine mach(cfg, tiles);
+    Machine mach(cfg, tiles, intra_jobs);
     if (cfg.dram.compression) {
         // Both stream words are pointers; the source side repeats for
         // every out-edge, which is why PR-Edge compresses best.

@@ -35,12 +35,14 @@ DenseVector pageRankReference(const CsrMatrix &graph, int iterations,
 /** Pull-based PageRank on Capstan. */
 PageRankResult runPageRankPull(const CsrMatrix &graph, int iterations,
                                const CapstanConfig &cfg,
-                               int tiles = kDefaultTiles);
+                               int tiles = kDefaultTiles,
+                               int intra_jobs = 1);
 
 /** Edge-streaming PageRank on Capstan. */
 PageRankResult runPageRankEdge(const CsrMatrix &graph, int iterations,
                                const CapstanConfig &cfg,
-                               int tiles = kDefaultTiles);
+                               int tiles = kDefaultTiles,
+                               int intra_jobs = 1);
 
 } // namespace capstan::apps
 

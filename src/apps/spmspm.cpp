@@ -45,12 +45,12 @@ spmspmReference(const CsrMatrix &a, const CsrMatrix &b)
 
 SpmspmResult
 runSpmspm(const CsrMatrix &a, const CsrMatrix &b,
-          const CapstanConfig &cfg, int tiles)
+          const CapstanConfig &cfg, int tiles, int intra_jobs)
 {
     SpmspmResult res;
     res.product = spmspmReference(a, b);
 
-    Machine mach(cfg, tiles);
+    Machine mach(cfg, tiles, intra_jobs);
     if (cfg.dram.compression)
         mach.setStreamCompression(
             streamCompressionRatio(b.colIdx(), 0.5));

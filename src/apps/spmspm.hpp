@@ -32,7 +32,8 @@ CsrMatrix spmspmReference(const CsrMatrix &a, const CsrMatrix &b);
 /** SpMSpM on Capstan. */
 SpmspmResult runSpmspm(const CsrMatrix &a, const CsrMatrix &b,
                        const CapstanConfig &cfg,
-                       int tiles = kDefaultTiles);
+                       int tiles = kDefaultTiles,
+                       int intra_jobs = 1);
 
 } // namespace capstan::apps
 

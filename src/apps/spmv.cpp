@@ -25,12 +25,12 @@ spmvReference(const CsrMatrix &m, const DenseVector &v)
 
 SpmvResult
 runSpmvCsr(const CsrMatrix &m, const DenseVector &v,
-           const CapstanConfig &cfg, int tiles)
+           const CapstanConfig &cfg, int tiles, int intra_jobs)
 {
     SpmvResult res;
     res.out = spmvReference(m, v); // Functional execution.
 
-    Machine mach(cfg, tiles);
+    Machine mach(cfg, tiles, intra_jobs);
     if (cfg.dram.compression)
         mach.setStreamCompression(
             streamCompressionRatio(m.colIdx(), 0.5));
@@ -80,12 +80,12 @@ runSpmvCsr(const CsrMatrix &m, const DenseVector &v,
 
 SpmvResult
 runSpmvCoo(const CsrMatrix &m, const DenseVector &v,
-           const CapstanConfig &cfg, int tiles)
+           const CapstanConfig &cfg, int tiles, int intra_jobs)
 {
     SpmvResult res;
     res.out = spmvReference(m, v);
 
-    Machine mach(cfg, tiles);
+    Machine mach(cfg, tiles, intra_jobs);
     // Non-zeros round-robin across tiles; output rows block-partitioned
     // so accumulations may land on any tile (cross-tile RMW).
     Index rows_per_tile = (m.rows() + tiles - 1) / tiles;
@@ -154,13 +154,13 @@ runSpmvCoo(const CsrMatrix &m, const DenseVector &v,
 
 SpmvResult
 runSpmvCsc(const CsrMatrix &m, const DenseVector &v,
-           const CapstanConfig &cfg, int tiles)
+           const CapstanConfig &cfg, int tiles, int intra_jobs)
 {
     SpmvResult res;
     res.out = spmvReference(m, v);
 
     CscMatrix csc = CscMatrix::fromCsr(m);
-    Machine mach(cfg, tiles);
+    Machine mach(cfg, tiles, intra_jobs);
     if (cfg.dram.compression)
         mach.setStreamCompression(
             streamCompressionRatio(csc.rowIdx(), 0.5));

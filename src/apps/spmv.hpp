@@ -38,12 +38,14 @@ DenseVector spmvReference(const CsrMatrix &m, const DenseVector &v);
 /** CSR SpMV on Capstan. */
 SpmvResult runSpmvCsr(const CsrMatrix &m, const DenseVector &v,
                       const CapstanConfig &cfg,
-                      int tiles = kDefaultTiles);
+                      int tiles = kDefaultTiles,
+                      int intra_jobs = 1);
 
 /** COO SpMV on Capstan (matrix streamed in coordinate form). */
 SpmvResult runSpmvCoo(const CsrMatrix &m, const DenseVector &v,
                       const CapstanConfig &cfg,
-                      int tiles = kDefaultTiles);
+                      int tiles = kDefaultTiles,
+                      int intra_jobs = 1);
 
 /**
  * CSC SpMV on Capstan; @p v is expected to be sparse (the paper uses a
@@ -51,7 +53,8 @@ SpmvResult runSpmvCoo(const CsrMatrix &m, const DenseVector &v,
  */
 SpmvResult runSpmvCsc(const CsrMatrix &m, const DenseVector &v,
                       const CapstanConfig &cfg,
-                      int tiles = kDefaultTiles);
+                      int tiles = kDefaultTiles,
+                      int intra_jobs = 1);
 
 } // namespace capstan::apps
 

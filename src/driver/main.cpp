@@ -112,6 +112,12 @@ runSweepMode(const DriverOptions &opts, const std::string &prog)
     }
 
     int jobs = resolveJobs(opts.jobs);
+    // --intra-jobs 0 shares the core budget with the sweep pool:
+    // resolve it against the pool size here so J concurrent points do
+    // not each spin up an all-cores Machine pool. Explicit values pass
+    // through (the user opted into J * intra threads).
+    for (DriverOptions &p : points)
+        p.intra_jobs = resolveIntraJobs(p.intra_jobs, jobs);
     std::fprintf(stderr, "%s: %zu points on %d thread%s\n",
                  prog.c_str(), points.size(), jobs,
                  jobs == 1 ? "" : "s");

@@ -338,6 +338,12 @@ parseArgs(const std::vector<std::string> &args)
         } else if (a == "--jobs") {
             if (!value(v) || !parseInt(v, o.jobs) || o.jobs < 0)
                 return fail("--jobs requires a non-negative integer");
+        } else if (a == "--intra-jobs") {
+            if (!value(v) || !parseInt(v, o.intra_jobs) ||
+                o.intra_jobs < 0) {
+                return fail(
+                    "--intra-jobs requires a non-negative integer");
+            }
         } else if (a == "--csv") {
             if (!value(v))
                 return fail("--csv requires a path");
@@ -441,6 +447,11 @@ usageText()
         "                     synthetic generation only)\n"
         "  --tiles N          outer-parallel tiles (default: 16)\n"
         "  --iterations N     PR/BiCGStab iterations (default: 2)\n"
+        "\n"
+        "Host execution (stats are identical at every thread count):\n"
+        "  --intra-jobs N     host threads stepping each simulation\n"
+        "                     (default: 1; 0 = all cores, divided by\n"
+        "                     the sweep pool's --jobs)\n"
         "\n"
         "Machine configuration:\n"
         "  --config NAME      capstan|plasticine|ideal\n"

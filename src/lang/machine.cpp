@@ -27,7 +27,7 @@ shuffleConfigFor(const CapstanConfig &cfg, int tiles)
 
 } // namespace
 
-Machine::Machine(const CapstanConfig &cfg, int tiles)
+Machine::Machine(const CapstanConfig &cfg, int tiles, int intra_jobs)
     : cfg_(cfg),
       dram_(cfg.dram, cfg.clock_ghz),
       shuffle_(shuffleConfigFor(cfg, tiles)),
@@ -49,6 +49,16 @@ Machine::Machine(const CapstanConfig &cfg, int tiles)
         ags_.push_back(
             std::make_unique<sim::AddressGenerator>(dram_, ag_entries));
     }
+    // More workers than tiles would only idle; CAPSTAN_NO_INTRA=1 is
+    // the bisecting switch (checked per construction, not cached, so a
+    // test can flip it between in-process runs). With no pool the
+    // machine takes the exact serial stepping path.
+    int workers = std::min(intra_jobs, tiles);
+    if (workers > 1 && std::getenv("CAPSTAN_NO_INTRA") == nullptr)
+        pool_ = std::make_unique<common::WorkerPool>(workers);
+    step_ctx_.resize(pool_ ? pool_->workers() : 1);
+    dram_staged_.resize(tiles);
+    completed_scratch_.resize(tiles);
 }
 
 int
@@ -58,6 +68,8 @@ Machine::addStage(int tile, const StageSpec &spec)
     Stage st;
     st.spec = spec;
     any_reduce_ = any_reduce_ || spec.kind == StageKind::Reduce;
+    tiles_[tile].has_cross =
+        tiles_[tile].has_cross || spec.kind == StageKind::SpmuCross;
     tiles_[tile].stages.push_back(std::move(st));
     return static_cast<int>(tiles_[tile].stages.size()) - 1;
 }
@@ -112,8 +124,13 @@ Machine::feedScanWindows(int tile, const std::vector<Index> &window_pops,
 std::uint64_t
 Machine::makeUid(int tile)
 {
-    (void)tile;
-    return next_vec_id_++;
+    // Per-tile uid streams: a tile's sequence depends only on its own
+    // firing history, never on how tile steps interleave across
+    // workers, so uids are identical at every intra-jobs count. The
+    // tile tag starts at 1, keeping the whole space disjoint from the
+    // serial next_vec_id_ counter used for shuffle-ejected vectors.
+    return (static_cast<std::uint64_t>(tile + 1) << 40) |
+           tiles_[static_cast<std::size_t>(tile)].next_uid_seq++;
 }
 
 bool
@@ -126,18 +143,19 @@ Machine::stageHasRoom(int t, int s) const
 }
 
 void
-Machine::advance(int t, int s, Token token, Cycle extra_latency)
+Machine::advance(int t, int s, Token token, Cycle extra_latency,
+                 StepCtx &ctx)
 {
     Tile &tile = tiles_[t];
     tile.last_active = now_;
-    cycle_progress_ = true;
+    ctx.progress = true;
     token.ready_at = now_ + extra_latency + cfg_.network_hop_latency;
     if (s + 1 < static_cast<int>(tile.stages.size()))
         tile.stages[s + 1].in.push_back(token);
 }
 
 void
-Machine::deliverPending(std::uint64_t uid)
+Machine::deliverPending(std::uint64_t uid, StepCtx &ctx)
 {
     auto it = pending_.find(uid);
     if (it == pending_.end())
@@ -147,8 +165,82 @@ Machine::deliverPending(std::uint64_t uid)
     Pending p = std::move(it->second);
     pending_.erase(it);
     Cycle extra = p.ready_floor > now_ ? p.ready_floor - now_ : 0;
-    advance(p.tile, p.stage, p.token, extra);
+    advance(p.tile, p.stage, p.token, extra, ctx);
     ++tiles_[p.tile].stages[p.stage].tokens_out;
+}
+
+void
+Machine::fireDramStage(int t, int s, const Token &tok, StepCtx &ctx)
+{
+    Stage &st = tiles_[t].stages[s];
+    if (st.spec.kind == StageKind::DramStream) {
+        Cycle extra = st.spec.latency;
+        if (tok.bytes > 0) {
+            std::uint64_t bytes = tok.bytes;
+            if (cfg_.dram.compression && stream_compression_ > 1.0)
+                bytes = std::max<std::uint64_t>(
+                    1, static_cast<std::uint64_t>(
+                           bytes / stream_compression_));
+            Cycle done = dram_.streamAccess(bytes, now_);
+            extra += done - now_;
+        }
+        advance(t, s, tok, extra, ctx);
+        ++st.tokens_out;
+        return;
+    }
+    CAPSTAN_DCHECK(st.spec.kind == StageKind::DramAtomic);
+    std::vector<std::uint64_t> addrs;
+    for (int l = 0; l < cfg_.spmu.lanes; ++l) {
+        if (tok.valid_mask & (1u << l))
+            addrs.push_back(static_cast<std::uint64_t>(
+                                tok.addr[l] + st.spec.addr_offset) *
+                            4);
+    }
+    Cycle done = addrs.empty() ? now_ : ags_[t]->atomicVector(addrs, now_);
+    advance(t, s, tok, done - now_, ctx);
+    ++st.tokens_out;
+}
+
+void
+Machine::commitStagedDram(int t, StepCtx &ctx)
+{
+    // Entries were staged in the tile's sink->source walk order, which
+    // is exactly the order the serial walk would have issued them.
+    for (const DramStaged &e : dram_staged_[t])
+        fireDramStage(t, e.stage, e.token, ctx);
+    dram_staged_[t].clear();
+}
+
+void
+Machine::commitStagedPending()
+{
+    // Worker index order; pending_ is keyed by uid, so insertion order
+    // is immaterial to behavior — the fixed order is for hygiene.
+    for (StepCtx &ctx : step_ctx_) {
+        for (auto &[uid, p] : ctx.staged_pending)
+            pending_.emplace(uid, std::move(p));
+        ctx.staged_pending.clear();
+    }
+}
+
+void
+Machine::mergeStepCtxs()
+{
+    // Merge per-worker deltas in worker index order. Every quantity is
+    // an integer-valued count, so the double sums are exact and the
+    // result is independent of how tiles were partitioned.
+    for (StepCtx &ctx : step_ctx_) {
+        totals_.active_lane_cycles += ctx.delta.active_lane_cycles;
+        totals_.vector_idle_lane_cycles +=
+            ctx.delta.vector_idle_lane_cycles;
+        totals_.scan_empty_cycles += ctx.delta.scan_empty_cycles;
+        totals_.imbalance_lane_cycles += ctx.delta.imbalance_lane_cycles;
+        totals_.tokens += ctx.delta.tokens;
+        totals_.cycles += ctx.delta.cycles;
+        cycle_progress_ = cycle_progress_ || ctx.progress;
+        ctx.delta = RunTotals{};
+        ctx.progress = false;
+    }
 }
 
 int
@@ -169,11 +261,14 @@ Machine::laneCountStage(int t)
 }
 
 void
-Machine::stepTile(int t)
+Machine::stepTile(int t, StepCtx &ctx, bool deferred)
 {
     Tile &tile = tiles_[t];
     int n = static_cast<int>(tile.stages.size());
     // Walk sink -> source so a token advances at most one stage/cycle.
+    // In deferred mode (parallel walk) the only shared state touched
+    // is the per-worker ctx: DRAM firings and pending_ insertions are
+    // staged for the serial commit pass.
     for (int s = n - 1; s >= 0; --s) {
         Stage &st = tile.stages[s];
         switch (st.spec.kind) {
@@ -183,15 +278,15 @@ Machine::stepTile(int t)
             Token tok = st.in.front();
             st.in.pop_front();
             tile.last_active = now_;
-            cycle_progress_ = true;
+            ctx.progress = true;
             ++st.tokens_out;
-            ++totals_.tokens;
+            ++ctx.delta.tokens;
             // Lane-occupancy stats are taken at the loop body (the
             // first Map stage); chains without one count here.
             if (s == laneCountStage(t)) {
                 int lanes = tok.validLanes();
-                totals_.active_lane_cycles += lanes;
-                totals_.vector_idle_lane_cycles +=
+                ctx.delta.active_lane_cycles += lanes;
+                ctx.delta.vector_idle_lane_cycles +=
                     cfg_.spmu.lanes - lanes;
             }
             break;
@@ -205,11 +300,11 @@ Machine::stepTile(int t)
             st.in.pop_front();
             if (s == laneCountStage(t)) {
                 int lanes = tok.validLanes();
-                totals_.active_lane_cycles += lanes;
-                totals_.vector_idle_lane_cycles +=
+                ctx.delta.active_lane_cycles += lanes;
+                ctx.delta.vector_idle_lane_cycles +=
                     cfg_.spmu.lanes - lanes;
             }
-            advance(t, s, tok, st.spec.latency);
+            advance(t, s, tok, st.spec.latency, ctx);
             ++st.tokens_out;
             break;
           }
@@ -219,13 +314,13 @@ Machine::stepTile(int t)
                 // Traversing all-zero windows: one scanner cycle each,
                 // charged to the Scan stall class.
                 --st.scan_skip_remaining;
-                totals_.scan_empty_cycles += 1;
+                ctx.delta.scan_empty_cycles += 1;
                 tile.last_active = now_;
                 // Finishing the burn is an event: next cycle this stage
                 // can consume again (or unblock a reduction flush), so
                 // the fast-forward engine must not jump over it.
                 if (st.scan_skip_remaining == 0 && st.scan_occupied == 0)
-                    cycle_progress_ = true;
+                    ctx.progress = true;
                 break;
             }
             if (st.scan_occupied > 0) {
@@ -234,7 +329,7 @@ Machine::stepTile(int t)
                 --st.scan_occupied;
                 tile.last_active = now_;
                 if (st.scan_occupied == 0)
-                    cycle_progress_ = true;
+                    ctx.progress = true;
                 break;
             }
             if (st.in.empty() || st.in.front().ready_at > now_ ||
@@ -243,7 +338,7 @@ Machine::stepTile(int t)
             }
             Token tok = st.in.front();
             st.in.pop_front();
-            cycle_progress_ = true;
+            ctx.progress = true;
             // Empty windows preceding this token cost a cycle each.
             if (tok.scan_skip > 0)
                 st.scan_skip_remaining += tok.scan_skip;
@@ -265,7 +360,7 @@ Machine::stepTile(int t)
                 st.scan_occupied += static_cast<std::int64_t>(
                     occupancy - 1);
             if (tok.validLanes() > 0) {
-                advance(t, s, tok, st.spec.latency);
+                advance(t, s, tok, st.spec.latency, ctx);
                 ++st.tokens_out;
             } else {
                 tile.last_active = now_;
@@ -287,13 +382,23 @@ Machine::stepTile(int t)
             }
             if (!spmus_[t]->tryEnqueue(av))
                 break;
-            pending_[av.id] = Pending{t, s, tok, 1};
+            if (deferred)
+                ctx.staged_pending.emplace_back(av.id,
+                                                Pending{t, s, tok, 1, 0});
+            else
+                pending_[av.id] = Pending{t, s, tok, 1};
             st.in.pop_front();
             tile.last_active = now_;
-            cycle_progress_ = true;
+            ctx.progress = true;
             break;
           }
           case StageKind::SpmuCross: {
+            // Cross-tile chains touch the shuffle network, the AG/DRAM
+            // path, and cross_lanes_ — all shared — so they only ever
+            // step on the serial path (tile.has_cross routes them
+            // there).
+            CAPSTAN_DCHECK(!deferred,
+                           "SpmuCross stepped inside the parallel walk");
             if (st.in.empty() || st.in.front().ready_at > now_)
                 break;
             const Token &tok = st.in.front();
@@ -336,7 +441,7 @@ Machine::stepTile(int t)
                 pending_[av.id] = Pending{t, s, tok, parts, 0};
                 st.in.pop_front();
                 tile.last_active = now_;
-                cycle_progress_ = true;
+                ctx.progress = true;
                 break;
             }
             if (cfg_.shuffle.mode == sim::MergeMode::None) {
@@ -385,11 +490,11 @@ Machine::stepTile(int t)
                     pending_[av.id] = p;
                     st.in.pop_front();
                     tile.last_active = now_;
-                    cycle_progress_ = true;
+                    ctx.progress = true;
                 } else {
                     Token moved = tok;
                     st.in.pop_front();
-                    advance(t, s, moved, done - now_);
+                    advance(t, s, moved, done - now_, ctx);
                     ++st.tokens_out;
                 }
                 break;
@@ -414,7 +519,7 @@ Machine::stepTile(int t)
             if (valid == 0) {
                 Token moved = tok;
                 st.in.pop_front();
-                advance(t, s, moved, 0);
+                advance(t, s, moved, 0, ctx);
                 break;
             }
             if (!shuffle_.tryInject(t, sv))
@@ -422,30 +527,10 @@ Machine::stepTile(int t)
             pending_[uid] = Pending{t, s, tok, valid};
             st.in.pop_front();
             tile.last_active = now_;
-            cycle_progress_ = true;
+            ctx.progress = true;
             break;
           }
-          case StageKind::DramStream: {
-            if (st.in.empty() || st.in.front().ready_at > now_ ||
-                !stageHasRoom(t, s)) {
-                break;
-            }
-            Token tok = st.in.front();
-            st.in.pop_front();
-            Cycle extra = st.spec.latency;
-            if (tok.bytes > 0) {
-                std::uint64_t bytes = tok.bytes;
-                if (cfg_.dram.compression && stream_compression_ > 1.0)
-                    bytes = std::max<std::uint64_t>(
-                        1, static_cast<std::uint64_t>(
-                               bytes / stream_compression_));
-                Cycle done = dram_.streamAccess(bytes, now_);
-                extra += done - now_;
-            }
-            advance(t, s, tok, extra);
-            ++st.tokens_out;
-            break;
-          }
+          case StageKind::DramStream:
           case StageKind::DramAtomic: {
             if (st.in.empty() || st.in.front().ready_at > now_ ||
                 !stageHasRoom(t, s)) {
@@ -453,18 +538,17 @@ Machine::stepTile(int t)
             }
             Token tok = st.in.front();
             st.in.pop_front();
-            std::vector<std::uint64_t> addrs;
-            for (int l = 0; l < cfg_.spmu.lanes; ++l) {
-                if (tok.valid_mask & (1u << l))
-                    addrs.push_back(static_cast<std::uint64_t>(
-                                        tok.addr[l] +
-                                        st.spec.addr_offset) *
-                                    4);
+            if (deferred) {
+                // The fire/no-fire decision above is tile-local; the
+                // shared DRAM/AG call is replayed by commitStagedDram
+                // in global tile order, exactly where the serial walk
+                // would have made it. Deferring the advance() is safe:
+                // the sink->source walk has already visited stages
+                // > s, and only they receive this stage's output.
+                dram_staged_[t].push_back(DramStaged{s, tok});
+                break;
             }
-            Cycle done =
-                addrs.empty() ? now_ : ags_[t]->atomicVector(addrs, now_);
-            advance(t, s, tok, done - now_);
-            ++st.tokens_out;
+            fireDramStage(t, s, tok, ctx);
             break;
           }
           case StageKind::Reduce: {
@@ -475,13 +559,13 @@ Machine::stepTile(int t)
             Token tok = st.in.front();
             st.in.pop_front();
             tile.last_active = now_;
-            cycle_progress_ = true;
+            ctx.progress = true;
             if (tok.end_group)
                 ++st.reduce_groups;
             if (st.reduce_groups >= cfg_.spmu.lanes) {
                 Token out = Token::compute(st.reduce_groups);
                 st.reduce_groups = 0;
-                advance(t, s, out, st.spec.latency);
+                advance(t, s, out, st.spec.latency, ctx);
                 ++st.tokens_out;
             }
             break;
@@ -530,11 +614,38 @@ Machine::runPhase(Cycle max_cycles)
         // delivers nothing (scanner burns and latency waits only) lets
         // the machine fast-forward to the next event horizon below.
         cycle_progress_ = false;
-        for (int t = 0; t < tiles(); ++t)
-            stall_base_[t] = spmus_[t]->stats().enqueue_stalls;
-
-        for (int t = 0; t < tiles(); ++t)
-            stepTile(t);
+        if (pool_) {
+            // Parallel tile walk. Workers step only their own tiles
+            // (cross-tile chains are skipped — they run serially
+            // below) and write nothing shared but their StepCtx;
+            // stall_base_[t] depends only on spmus_[t], so capturing
+            // it just before the owning worker steps the tile matches
+            // the serial capture loop exactly.
+            pool_->run(tiles(), [this](int begin, int end, int w) {
+                StepCtx &ctx = step_ctx_[w];
+                for (int t = begin; t < end; ++t) {
+                    stall_base_[t] = spmus_[t]->stats().enqueue_stalls;
+                    if (!tiles_[t].has_cross)
+                        stepTile(t, ctx, /*deferred=*/true);
+                }
+            });
+            commitStagedPending();
+            // Serial commit pass in global tile order: cross-tile
+            // chains take their full serial step at their position;
+            // everyone else replays staged DRAM firings. This
+            // reproduces the serial walk's shared-state call order.
+            for (int t = 0; t < tiles(); ++t) {
+                if (tiles_[t].has_cross)
+                    stepTile(t, step_ctx_[0], /*deferred=*/false);
+                else
+                    commitStagedDram(t, step_ctx_[0]);
+            }
+        } else {
+            for (int t = 0; t < tiles(); ++t)
+                stall_base_[t] = spmus_[t]->stats().enqueue_stalls;
+            for (int t = 0; t < tiles(); ++t)
+                stepTile(t, step_ctx_[0], /*deferred=*/false);
+        }
 
         // Shuffle network: move vectors a stage, then hand ejected
         // vectors to the owning tile's SpMU.
@@ -571,23 +682,60 @@ Machine::runPhase(Cycle max_cycles)
             }
         }
 
-        // SpMUs: advance and resolve completions.
-        for (int t = 0; t < tiles(); ++t) {
-            sim::SparseMemoryUnit &spmu = *spmus_[t];
-            std::uint64_t grants_before = spmu.stats().grants;
-            if (!spmu.empty())
-                spmu.step();
-            if (spmu.stats().grants != grants_before)
-                cycle_progress_ = true;
-            while (auto cv = spmu.tryDequeue()) {
-                cycle_progress_ = true;
-                auto cl = cross_lanes_.find(cv->id);
-                if (cl != cross_lanes_.end()) {
-                    for (std::uint64_t uid : cl->second)
-                        deliverPending(uid);
-                    cross_lanes_.erase(cl);
-                } else {
-                    deliverPending(cv->id);
+        // SpMUs: advance and resolve completions. Stepping and
+        // draining a SpMU is tile-local, so it parallelizes; the
+        // deliveries mutate pending_ and origin-tile stages, so they
+        // merge serially in tile order (the drain order the serial
+        // loop produces — delivery never feeds back into a SpMU
+        // within the same cycle).
+        if (pool_) {
+            pool_->run(tiles(), [this](int begin, int end, int w) {
+                StepCtx &ctx = step_ctx_[w];
+                for (int t = begin; t < end; ++t) {
+                    sim::SparseMemoryUnit &spmu = *spmus_[t];
+                    std::uint64_t grants_before = spmu.stats().grants;
+                    if (!spmu.empty())
+                        spmu.step();
+                    if (spmu.stats().grants != grants_before)
+                        ctx.progress = true;
+                    while (auto cv = spmu.tryDequeue()) {
+                        ctx.progress = true;
+                        completed_scratch_[t].push_back(std::move(*cv));
+                    }
+                }
+            });
+            for (int t = 0; t < tiles(); ++t) {
+                for (const sim::CompletedVector &cv :
+                     completed_scratch_[t]) {
+                    auto cl = cross_lanes_.find(cv.id);
+                    if (cl != cross_lanes_.end()) {
+                        for (std::uint64_t uid : cl->second)
+                            deliverPending(uid, step_ctx_[0]);
+                        cross_lanes_.erase(cl);
+                    } else {
+                        deliverPending(cv.id, step_ctx_[0]);
+                    }
+                }
+                completed_scratch_[t].clear();
+            }
+        } else {
+            for (int t = 0; t < tiles(); ++t) {
+                sim::SparseMemoryUnit &spmu = *spmus_[t];
+                std::uint64_t grants_before = spmu.stats().grants;
+                if (!spmu.empty())
+                    spmu.step();
+                if (spmu.stats().grants != grants_before)
+                    cycle_progress_ = true;
+                while (auto cv = spmu.tryDequeue()) {
+                    cycle_progress_ = true;
+                    auto cl = cross_lanes_.find(cv->id);
+                    if (cl != cross_lanes_.end()) {
+                        for (std::uint64_t uid : cl->second)
+                            deliverPending(uid, step_ctx_[0]);
+                        cross_lanes_.erase(cl);
+                    } else {
+                        deliverPending(cv->id, step_ctx_[0]);
+                    }
                 }
             }
         }
@@ -621,11 +769,15 @@ Machine::runPhase(Cycle max_cycles)
                 if (upstream_empty && stageHasRoom(t, s)) {
                     Token out = Token::compute(st.reduce_groups);
                     st.reduce_groups = 0;
-                    advance(t, s, out, st.spec.latency);
+                    advance(t, s, out, st.spec.latency, step_ctx_[0]);
                     ++st.tokens_out;
                 }
             }
         }
+
+        // Fold per-worker deltas into totals_ and cycle_progress_
+        // before the fast-forward decision reads them.
+        mergeStepCtxs();
 
         ++now_;
 
@@ -774,6 +926,7 @@ Machine::resetChains()
         tile.stages.clear();
         tile.next_uid_seq = 0;
         tile.lane_count_stage = -1;
+        tile.has_cross = false;
     }
     any_reduce_ = false;
 }

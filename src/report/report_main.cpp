@@ -42,6 +42,7 @@ struct ReportArgs
     int tiles = 0;
     int iterations = 0;
     int jobs = 0;
+    int intra_jobs = 1; //!< Threads inside one simulation; 0 = all.
     bool check = false;
     bool list = false;
     bool help = false;
@@ -72,6 +73,10 @@ const char *kUsage =
     "  --tiles N          override the preset's tile count\n"
     "  --iterations N     override the preset's PR/BiCGStab iterations\n"
     "  --jobs N           sweep worker threads (default: all cores)\n"
+    "  --intra-jobs N     host threads stepping each simulation\n"
+    "                     (default 1; 0 = all cores / sweep jobs).\n"
+    "                     Purely a wall-clock knob: reports are\n"
+    "                     byte-identical at every value\n"
     "  --dataset-dir DIR  resolve Table 6 names to real dataset files\n"
     "                     (DIR/<name>.mtx|.el|.txt) when present;\n"
     "                     absent names fall back to the synthetic\n"
@@ -150,6 +155,12 @@ parseReportArgs(const std::vector<std::string> &args)
             if (!value(v) || !capstan::driver::parseInt(v, a.jobs) ||
                 a.jobs < 0)
                 return fail("--jobs requires a non-negative integer");
+        } else if (arg == "--intra-jobs") {
+            if (!value(v) ||
+                !capstan::driver::parseInt(v, a.intra_jobs) ||
+                a.intra_jobs < 0)
+                return fail(
+                    "--intra-jobs requires a non-negative integer");
         } else if (arg == "--dataset-dir") {
             if (!value(v))
                 return fail("--dataset-dir requires a directory");
@@ -272,6 +283,12 @@ main(int argc, char **argv)
         meta.knobs.tiles = args.tiles;
     if (args.iterations > 0)
         meta.knobs.iterations = args.iterations;
+    // 0 = all cores, split against the sweep pool so --jobs J
+    // --intra-jobs 0 stays near the machine's core budget. The report
+    // renderers never emit this knob: stats are thread-count-invariant
+    // (docs/OUTPUT_SCHEMA.md), so reports stay byte-identical.
+    meta.knobs.intra_jobs = capstan::driver::resolveIntraJobs(
+        args.intra_jobs, capstan::driver::resolveJobs(args.jobs));
     if (!args.dataset_dir.empty()) {
         std::error_code ec;
         if (!std::filesystem::is_directory(args.dataset_dir, ec)) {

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "common/check.hpp"
+#include "common/simd.hpp"
 
 namespace capstan::sim {
 
@@ -33,26 +34,31 @@ SeparableAllocator::allocate(
 
         // Stage 1: each ungranted lane picks its lowest-index requested
         // bank that is still free (fixed-priority arbiter per lane).
+        // Only lanes in the pending mask are walked; forEachSetBit
+        // visits them in ascending order, preserving lane priority.
+        const std::uint32_t lane_mask =
+            lanes_ >= 32 ? ~std::uint32_t{0}
+                         : ((std::uint32_t{1} << lanes_) - 1);
         std::array<int, kMaxVirtualLanes> choice;
-        choice.fill(-1);
-        for (int l = 0; l < lanes_; ++l) {
-            if (granted_lanes & (1u << l))
-                continue;
+        std::uint32_t choosers = 0;
+        common::simd::forEachSetBit(lane_mask & ~granted_lanes, [&](int l) {
             std::uint32_t avail = req[l] & ~taken_banks;
-            if (avail != 0)
+            if (avail != 0) {
                 choice[l] = std::countr_zero(avail);
-        }
+                choosers |= std::uint32_t{1} << l;
+            }
+        });
 
         // Stage 2: each bank accepts its lowest-index chooser (fixed-
         // priority arbiter per bank). Both stages together guarantee at
         // most one grant per lane and per bank this iteration.
         std::array<int, 32> bank_winner;
         bank_winner.fill(-1);
-        for (int l = 0; l < lanes_; ++l) {
+        common::simd::forEachSetBit(choosers, [&](int l) {
             int b = choice[l];
-            if (b >= 0 && bank_winner[b] < 0)
+            if (bank_winner[b] < 0)
                 bank_winner[b] = l;
-        }
+        });
 
         for (int b = 0; b < banks_; ++b) {
             int l = bank_winner[b];

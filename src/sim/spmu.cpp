@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/check.hpp"
+#include "common/simd.hpp"
 
 namespace capstan::sim {
 
@@ -63,9 +64,8 @@ SparseMemoryUnit::bankOf(std::uint32_t addr) const
         return static_cast<int>(addr % cfg_.banks);
     // Nibble fold: a[0:3] ^ a[4:7] ^ a[8:11] ^ a[12:15], reduced to the
     // bank count (16 banks use the full 4-bit result).
-    std::uint32_t folded = (addr & 0xF) ^ ((addr >> 4) & 0xF) ^
-                           ((addr >> 8) & 0xF) ^ ((addr >> 12) & 0xF);
-    return static_cast<int>(folded % cfg_.banks);
+    return static_cast<int>(common::simd::xorFoldNibbles(addr) %
+                            cfg_.banks);
 }
 
 std::size_t

@@ -85,9 +85,12 @@ BitTree::toPositions() const
 {
     std::vector<Index> out;
     out.reserve(count());
+    // Running rank over the ascending slot walk: every set top slot
+    // owns the next compressed leaf, so the leaf index just counts up.
+    Index leaf_idx = 0;
     for (Index slot = top_.nextSet(0); slot != kNoIndex;
-         slot = top_.nextSet(slot + 1)) {
-        const BitVector &lf = leaves_[top_.rank(slot)];
+         slot = top_.nextSet(slot + 1), ++leaf_idx) {
+        const BitVector &lf = leaves_[leaf_idx];
         for (Index p : lf.toPositions())
             out.push_back(slot * leaf_bits_ + p);
     }
@@ -115,12 +118,20 @@ alignImpl(const BitTree &a, const BitTree &b, bool is_union)
 
     std::vector<AlignedLeafPair> out;
     out.reserve(merged.count());
+    // Running ranks via countRange over the gap since the previous
+    // slot keep the walk linear (rank() rescans the whole prefix).
+    Index rank_a = 0;
+    Index rank_b = 0;
+    Index prev = 0;
     for (Index slot = merged.nextSet(0); slot != kNoIndex;
          slot = merged.nextSet(slot + 1)) {
+        rank_a += ta.countRange(prev, slot);
+        rank_b += tb.countRange(prev, slot);
+        prev = slot;
         AlignedLeafPair pair;
         pair.top_slot = slot;
-        pair.leaf_a = ta.test(slot) ? ta.rank(slot) : kNoIndex;
-        pair.leaf_b = tb.test(slot) ? tb.rank(slot) : kNoIndex;
+        pair.leaf_a = ta.test(slot) ? rank_a : kNoIndex;
+        pair.leaf_b = tb.test(slot) ? rank_b : kNoIndex;
         out.push_back(pair);
     }
     return out;

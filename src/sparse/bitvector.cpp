@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "common/check.hpp"
+#include "common/simd.hpp"
 
 namespace capstan::sparse {
 
@@ -70,26 +71,24 @@ BitVector::clear()
 Index
 BitVector::count() const
 {
-    Index total = 0;
-    for (std::uint64_t w : words_)
-        total += std::popcount(w);
-    return total;
+    return static_cast<Index>(
+        common::simd::popcountWords(words_.data(), words_.size()));
 }
 
 Index
 BitVector::rank(Index pos) const
 {
     CAPSTAN_DCHECK(pos >= 0 && pos <= size_);
-    Index full_words = pos / kWordBits;
-    Index total = 0;
-    for (Index i = 0; i < full_words; ++i)
-        total += std::popcount(words_[i]);
-    Index rem = pos % kWordBits;
-    if (rem > 0) {
-        std::uint64_t mask = (std::uint64_t{1} << rem) - 1;
-        total += std::popcount(words_[full_words] & mask);
-    }
-    return total;
+    return static_cast<Index>(
+        common::simd::popcountRange(words_.data(), 0, pos));
+}
+
+Index
+BitVector::countRange(Index begin, Index end) const
+{
+    CAPSTAN_DCHECK(begin >= 0 && begin <= end && end <= size_);
+    return static_cast<Index>(
+        common::simd::popcountRange(words_.data(), begin, end));
 }
 
 Index
@@ -146,8 +145,8 @@ BitVector::operator&(const BitVector &other) const
 {
     CAPSTAN_DCHECK(size_ == other.size_);
     BitVector out(size_);
-    for (std::size_t i = 0; i < words_.size(); ++i)
-        out.words_[i] = words_[i] & other.words_[i];
+    common::simd::andWords(out.words_.data(), words_.data(),
+                           other.words_.data(), words_.size());
     return out;
 }
 
@@ -156,8 +155,8 @@ BitVector::operator|(const BitVector &other) const
 {
     CAPSTAN_DCHECK(size_ == other.size_);
     BitVector out(size_);
-    for (std::size_t i = 0; i < words_.size(); ++i)
-        out.words_[i] = words_[i] | other.words_[i];
+    common::simd::orWords(out.words_.data(), words_.data(),
+                          other.words_.data(), words_.size());
     return out;
 }
 
@@ -166,8 +165,8 @@ BitVector::andNot(const BitVector &other) const
 {
     CAPSTAN_DCHECK(size_ == other.size_);
     BitVector out(size_);
-    for (std::size_t i = 0; i < words_.size(); ++i)
-        out.words_[i] = words_[i] & ~other.words_[i];
+    common::simd::andNotWords(out.words_.data(), words_.data(),
+                              other.words_.data(), words_.size());
     return out;
 }
 

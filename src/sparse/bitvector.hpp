@@ -60,6 +60,14 @@ class BitVector
     Index rank(Index pos) const;
 
     /**
+     * Number of set bits in [@p begin, @p end). Equivalent to
+     * rank(end) - rank(begin) but walks only the covered words, so
+     * incremental scans stay linear instead of quadratic in the
+     * prefix. @pre 0 <= begin <= end <= size().
+     */
+    Index countRange(Index begin, Index end) const;
+
+    /**
      * Position of the @p k-th set bit (k counts from zero).
      * @return the position, or kNoIndex if fewer than k+1 bits are set.
      */

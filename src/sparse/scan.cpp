@@ -26,17 +26,18 @@ scanImpl(const BitVector &a, const BitVector *b, Mode mode)
 
     std::vector<ScanEntry> out;
     out.reserve(merged.count());
-    // Walk set bits once, maintaining running ranks instead of calling
-    // rank() per position (rank() is linear in the prefix).
+    // Walk set bits once, maintaining running ranks via countRange()
+    // over the gap since the previous hit — each word is inspected
+    // once in total, instead of rank()'s linear-in-prefix rescans.
     Index rank_a = 0;
     Index rank_b = 0;
     Index prev = 0;
     Index jprime = 0;
     for (Index j = merged.nextSet(0); j != kNoIndex;
          j = merged.nextSet(j + 1)) {
-        rank_a += a.rank(j) - a.rank(prev);
+        rank_a += a.countRange(prev, j);
         if (b != nullptr)
-            rank_b += b->rank(j) - b->rank(prev);
+            rank_b += b->countRange(prev, j);
         prev = j;
 
         ScanEntry e;

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Differential determinism harness for intra-run parallelism.
+ *
+ * The threading contract (docs/ARCHITECTURE.md, "Threading model") is
+ * that --intra-jobs is purely a wall-clock knob: a simulation's stats
+ * are byte-identical at every worker count, with the serial path and
+ * CAPSTAN_NO_INTRA=1 as bisecting references. This harness proves it
+ * differentially: a 12-point app x config matrix runs through the real
+ * driver dispatch at intra-jobs 1, 2, and 8 and under the kill switch,
+ * and every JSON stats document must match byte for byte. The same
+ * binary runs under TSan in CI, which turns any cross-worker race in
+ * the Machine's parallel stepping into a hard failure here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "driver/options.hpp"
+#include "driver/runner.hpp"
+#include "lang/machine.hpp"
+
+namespace {
+
+using namespace capstan;
+using namespace capstan::driver;
+
+// ---------------------------------------------------------------------------
+// WorkerPool semantics the Machine's determinism argument rests on.
+// ---------------------------------------------------------------------------
+
+TEST(WorkerPool, ChunkPartitionsExactlyAndInOrder)
+{
+    // chunk() is the single source of truth for which worker owns
+    // which tiles; the merge order (worker 0, 1, ...) is only
+    // deterministic because the partition is static and contiguous.
+    for (int n : {1, 2, 3, 7, 16, 31, 64}) {
+        for (int workers : {1, 2, 3, 4, 8}) {
+            int covered = 0;
+            int prev_end = 0;
+            for (int w = 0; w < workers; ++w) {
+                auto [begin, end] = common::WorkerPool::chunk(
+                    n, workers, w);
+                EXPECT_EQ(begin, prev_end)
+                    << "gap/overlap at n=" << n << " w=" << w;
+                EXPECT_LE(begin, end);
+                // Balanced: chunk sizes differ by at most one.
+                EXPECT_LE(end - begin, n / workers + (n % workers ? 1 : 0));
+                covered += end - begin;
+                prev_end = end;
+            }
+            EXPECT_EQ(covered, n);
+            EXPECT_EQ(prev_end, n);
+        }
+    }
+}
+
+TEST(WorkerPool, RunVisitsEveryIndexExactlyOnce)
+{
+    common::WorkerPool pool(4);
+    EXPECT_EQ(pool.workers(), 4);
+    std::vector<int> hits(97, 0);
+    std::vector<int> owner(97, -1);
+    pool.run(97, [&](int begin, int end, int w) {
+        for (int i = begin; i < end; ++i) {
+            ++hits[static_cast<std::size_t>(i)];
+            owner[static_cast<std::size_t>(i)] = w;
+        }
+    });
+    for (int i = 0; i < 97; ++i) {
+        EXPECT_EQ(hits[static_cast<std::size_t>(i)], 1) << "index " << i;
+        auto [begin, end] = common::WorkerPool::chunk(97, 4,
+            owner[static_cast<std::size_t>(i)]);
+        EXPECT_TRUE(begin <= i && i < end)
+            << "index " << i << " ran outside its owner's chunk";
+    }
+}
+
+TEST(WorkerPool, ReusableAcrossManyDispatches)
+{
+    // The Machine dispatches one job per simulated cycle, so the pool
+    // must survive many short jobs without losing workers.
+    common::WorkerPool pool(3);
+    long total = 0;
+    for (int round = 0; round < 2000; ++round) {
+        std::array<long, 3> partial{};
+        pool.run(11, [&](int begin, int end, int w) {
+            long s = 0;
+            for (int i = begin; i < end; ++i)
+                s += i;
+            partial[static_cast<std::size_t>(w)] = s;
+        });
+        // Deterministic reduction: merge in worker index order.
+        for (long p : partial)
+            total += p;
+    }
+    EXPECT_EQ(total, 2000L * (11 * 10 / 2));
+}
+
+// ---------------------------------------------------------------------------
+// Machine-level pool wiring.
+// ---------------------------------------------------------------------------
+
+TEST(Machine, IntraWorkersClampToTilesAndKillSwitch)
+{
+    sim::CapstanConfig cfg = sim::CapstanConfig::ideal();
+    EXPECT_EQ(lang::Machine(cfg, 4).intraWorkers(), 1);
+    EXPECT_EQ(lang::Machine(cfg, 4, 1).intraWorkers(), 1);
+    EXPECT_EQ(lang::Machine(cfg, 4, 3).intraWorkers(), 3);
+    // More workers than tiles would only idle.
+    EXPECT_EQ(lang::Machine(cfg, 4, 64).intraWorkers(), 4);
+    EXPECT_EQ(lang::Machine(cfg, 1, 8).intraWorkers(), 1);
+
+    // CAPSTAN_NO_INTRA=1 bisects to the serial path; it is read per
+    // construction (never cached) so tests can flip it in-process.
+    ::setenv("CAPSTAN_NO_INTRA", "1", 1);
+    EXPECT_EQ(lang::Machine(cfg, 4, 8).intraWorkers(), 1);
+    ::unsetenv("CAPSTAN_NO_INTRA");
+    EXPECT_EQ(lang::Machine(cfg, 4, 8).intraWorkers(), 4);
+}
+
+// ---------------------------------------------------------------------------
+// The differential matrix: byte-identical stats at every thread count.
+// ---------------------------------------------------------------------------
+
+struct MatrixPoint
+{
+    const char *app;
+    ConfigPoint config;
+};
+
+/**
+ * 6 apps x 2 design points = 12 points. The apps are chosen to cover
+ * every parallel-stepping structure: dense streaming (spmv), sparse
+ * input vectors (spmv-csc), iterative reductions (pagerank),
+ * cross-tile atomics through the shuffle network (bfs), bit-tree
+ * alignment (matadd), and SpMU-heavy intersection (spmspm).
+ */
+const MatrixPoint kMatrix[] = {
+    {"spmv", ConfigPoint::Capstan},
+    {"spmv", ConfigPoint::Plasticine},
+    {"spmv-csc", ConfigPoint::Capstan},
+    {"spmv-csc", ConfigPoint::Plasticine},
+    {"pagerank", ConfigPoint::Capstan},
+    {"pagerank", ConfigPoint::Plasticine},
+    {"bfs", ConfigPoint::Capstan},
+    {"bfs", ConfigPoint::Plasticine},
+    {"matadd", ConfigPoint::Capstan},
+    {"matadd", ConfigPoint::Plasticine},
+    {"spmspm", ConfigPoint::Capstan},
+    {"spmspm", ConfigPoint::Plasticine},
+};
+
+std::string
+runPoint(const MatrixPoint &p, int intra_jobs)
+{
+    DriverOptions opts;
+    opts.app = p.app;
+    opts.config = p.config;
+    opts.scale = 0.02; // The report's quick-preset scale.
+    opts.tiles = 4;
+    opts.iterations = 1;
+    opts.intra_jobs = intra_jobs;
+    return statsToJson(runDriver(opts)).dump(2);
+}
+
+TEST(IntraParallel, TwelvePointMatrixIsByteIdenticalAcrossWorkers)
+{
+    for (const MatrixPoint &p : kMatrix) {
+        std::string serial = runPoint(p, 1);
+        EXPECT_FALSE(serial.empty());
+        for (int intra : {2, 8}) {
+            std::string parallel = runPoint(p, intra);
+            EXPECT_EQ(serial, parallel)
+                << p.app << "/" << configPointName(p.config)
+                << " diverged at --intra-jobs " << intra;
+        }
+    }
+}
+
+TEST(IntraParallel, KillSwitchMatchesTheSerialPath)
+{
+    // CAPSTAN_NO_INTRA=1 must reproduce --intra-jobs 1 bytes exactly
+    // even when a larger worker count is requested: it is the bisect
+    // switch for attributing a divergence to the parallel path.
+    for (const MatrixPoint &p : {kMatrix[0], kMatrix[6], kMatrix[10]}) {
+        std::string serial = runPoint(p, 1);
+        ::setenv("CAPSTAN_NO_INTRA", "1", 1);
+        std::string killed = runPoint(p, 8);
+        ::unsetenv("CAPSTAN_NO_INTRA");
+        EXPECT_EQ(serial, killed)
+            << p.app << "/" << configPointName(p.config)
+            << " diverged under CAPSTAN_NO_INTRA=1";
+        // And back: the env read is per construction, not cached.
+        EXPECT_EQ(serial, runPoint(p, 8));
+    }
+}
+
+TEST(IntraParallel, GoldenCyclesAreThreadCountInvariant)
+{
+    // Cycle counts (the paper's headline metric) must not move with
+    // the worker count; pin one run's cycles against all variants so
+    // a divergence names the count instead of a JSON diff.
+    DriverOptions opts;
+    opts.app = "pagerank";
+    opts.scale = 0.02;
+    opts.tiles = 4;
+    opts.iterations = 1;
+    opts.intra_jobs = 1;
+    const RunResult base = runDriver(opts);
+    EXPECT_GT(base.timing.cycles, 0u);
+    for (int intra : {2, 3, 8}) {
+        opts.intra_jobs = intra;
+        EXPECT_EQ(runDriver(opts).timing.cycles, base.timing.cycles)
+            << "--intra-jobs " << intra;
+    }
+}
+
+} // namespace

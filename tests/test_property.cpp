@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Seeded property tests for the structures the stepping engine leans
+ * on hardest: lang::RingQueue (checked against a std::deque model
+ * under random operation streams) and the SpMU's event-horizon
+ * contract (random traffic stepped densely vs. fast-forwarded with
+ * random skip lengths must agree exactly — the property the cycle
+ * fast-forward engine and the intra-run parallel walk both rely on).
+ *
+ * Every stream is generated from a fixed seed list, so a failure
+ * reproduces deterministically; the seeds are printed in the failure
+ * message.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "lang/ring.hpp"
+#include "sim/config.hpp"
+#include "sim/spmu.hpp"
+
+namespace {
+
+using namespace capstan;
+using sim::Cycle;
+using sim::kMaxLanes;
+
+// ---------------------------------------------------------------------------
+// RingQueue vs. a std::deque model.
+// ---------------------------------------------------------------------------
+
+/** Element with a heap buffer, to exercise slot reuse across pops. */
+struct Payload
+{
+    int tag = 0;
+    std::vector<int> data;
+};
+
+void
+ringModelRound(std::uint32_t seed, int ops)
+{
+    std::mt19937 rng(seed);
+    lang::RingQueue<Payload> ring;
+    std::deque<Payload> model;
+
+    for (int op = 0; op < ops; ++op) {
+        // Bias toward pushes so the queue grows through several
+        // capacity doublings, then drains.
+        int action = static_cast<int>(rng() % 100);
+        if (action < 55) {
+            Payload p;
+            p.tag = static_cast<int>(rng() % 100000);
+            p.data.assign(rng() % 8, p.tag);
+            ring.push_back(p);
+            model.push_back(std::move(p));
+        } else if (action < 95) {
+            if (!model.empty()) {
+                ASSERT_FALSE(ring.empty()) << "seed " << seed;
+                ASSERT_EQ(ring.front().tag, model.front().tag)
+                    << "seed " << seed << " op " << op;
+                ASSERT_EQ(ring.front().data, model.front().data)
+                    << "seed " << seed << " op " << op;
+                ring.pop_front();
+                model.pop_front();
+            }
+        } else if (action < 97) {
+            ring.clear();
+            model.clear();
+        }
+        ASSERT_EQ(ring.size(), model.size())
+            << "seed " << seed << " op " << op;
+        ASSERT_EQ(ring.empty(), model.empty());
+        if (!model.empty()) {
+            ASSERT_EQ(ring.front().tag, model.front().tag);
+        }
+    }
+    // Drain: remaining contents must match the model in FIFO order.
+    while (!model.empty()) {
+        ASSERT_FALSE(ring.empty());
+        EXPECT_EQ(ring.front().tag, model.front().tag);
+        EXPECT_EQ(ring.front().data, model.front().data);
+        ring.pop_front();
+        model.pop_front();
+    }
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingQueueProperty, MatchesDequeModelUnderRandomStreams)
+{
+    for (std::uint32_t seed : {1u, 7u, 42u, 1337u, 0xC0FFEEu})
+        ringModelRound(seed, 20000);
+}
+
+TEST(RingQueueProperty, GrowthRelinearizesAcrossWrap)
+{
+    // Force head/tail to wrap before growth: push/pop cycles move the
+    // window deep into the free-running counters, then a burst grows
+    // the array while the live range straddles the wrap point.
+    lang::RingQueue<int> ring;
+    std::deque<int> model;
+    int next = 0;
+    for (int round = 0; round < 50; ++round) {
+        for (int i = 0; i < 13; ++i) {
+            ring.push_back(next);
+            model.push_back(next);
+            ++next;
+        }
+        for (int i = 0; i < 9; ++i) {
+            ASSERT_EQ(ring.front(), model.front());
+            ring.pop_front();
+            model.pop_front();
+        }
+    }
+    while (!model.empty()) {
+        ASSERT_EQ(ring.front(), model.front());
+        ring.pop_front();
+        model.pop_front();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SpMU event-horizon contract: dense stepping vs. random fast-forward.
+// ---------------------------------------------------------------------------
+
+sim::AccessVector
+randomVector(std::mt19937 &rng, std::uint64_t id)
+{
+    static const sim::AccessOp kOps[] = {
+        sim::AccessOp::Read, sim::AccessOp::AddF32, sim::AccessOp::Min,
+        sim::AccessOp::TestAndSet, sim::AccessOp::Write};
+    sim::AccessVector av;
+    av.id = id;
+    int lanes = 1 + static_cast<int>(rng() % kMaxLanes);
+    for (int l = 0; l < lanes; ++l) {
+        av.lane[static_cast<std::size_t>(l)].valid = true;
+        av.lane[static_cast<std::size_t>(l)].addr = rng() % 512;
+        av.lane[static_cast<std::size_t>(l)].op =
+            kOps[rng() % (sizeof(kOps) / sizeof(kOps[0]))];
+        av.lane[static_cast<std::size_t>(l)].operand =
+            static_cast<Value>(rng() % 16);
+    }
+    return av;
+}
+
+struct Completion
+{
+    std::uint64_t id;
+    Cycle completed_at;
+    std::array<Value, kMaxLanes> result;
+
+    bool operator==(const Completion &o) const
+    {
+        return id == o.id && completed_at == o.completed_at &&
+               result == o.result;
+    }
+};
+
+void
+drain(sim::SparseMemoryUnit &u, std::vector<Completion> &log)
+{
+    while (auto cv = u.tryDequeue())
+        log.push_back({cv->id, cv->completed_at, cv->result});
+}
+
+/**
+ * Drive two identical SpMUs with the same enqueue schedule: one steps
+ * every cycle; the other fast-forwards idle gaps with random-length
+ * skipCycles() bounded by nextEventCycle(). If the horizon ever
+ * overshoots (claims a no-op where observable work existed), the
+ * skipping unit diverges from the dense one and the comparison fails.
+ */
+void
+horizonRound(std::uint32_t seed)
+{
+    std::mt19937 rng(seed);
+    sim::SpmuConfig cfg;
+    cfg.queue_depth = 4;
+    // Small bank count raises conflict pressure (more interesting
+    // issue schedules); ordering stays at the config default.
+    cfg.banks = 8;
+    sim::SparseMemoryUnit dense(cfg, /*with_storage=*/true);
+    sim::SparseMemoryUnit skip(cfg, /*with_storage=*/true);
+
+    // Precompute the enqueue schedule: (cycle, vector) with random
+    // bursts and idle gaps long enough for skips to matter.
+    struct Feed
+    {
+        Cycle at;
+        sim::AccessVector av;
+    };
+    std::vector<Feed> feeds;
+    Cycle c = 0;
+    for (std::uint64_t id = 1; id <= 60; ++id) {
+        feeds.push_back({c, randomVector(rng, id)});
+        c += (rng() % 3 == 0) ? (rng() % 40) : (rng() % 2);
+    }
+    const Cycle kEnd = c + 2000; // Watchdog bound on the drain.
+
+    std::vector<Completion> dense_log, skip_log;
+    std::size_t feed_i = 0;
+
+    // Dense reference: step every cycle, retry refused enqueues each
+    // cycle (the machine's replay rule).
+    std::vector<sim::AccessVector> backlog;
+    for (Cycle now = 0; now < kEnd; ++now) {
+        while (feed_i < feeds.size() && feeds[feed_i].at == now)
+            backlog.push_back(feeds[feed_i++].av);
+        // The SpMU contract is at most one enqueue per cycle.
+        if (!backlog.empty() && dense.tryEnqueue(backlog.front()))
+            backlog.erase(backlog.begin());
+        dense.step();
+        drain(dense, dense_log);
+        if (feed_i == feeds.size() && backlog.empty() && dense.empty())
+            break;
+    }
+    ASSERT_TRUE(dense.empty()) << "seed " << seed << ": watchdog";
+
+    // Skipping run: same schedule, but idle stretches (no pending
+    // enqueue and nextEventCycle() in the future) are jumped in
+    // random-length chunks that never pass the horizon or the next
+    // feed cycle.
+    feed_i = 0;
+    backlog.clear();
+    while (skip.now() < kEnd) {
+        Cycle now = skip.now();
+        while (feed_i < feeds.size() && feeds[feed_i].at == now)
+            backlog.push_back(feeds[feed_i++].av);
+        if (!backlog.empty() && skip.tryEnqueue(backlog.front()))
+            backlog.erase(backlog.begin());
+
+        Cycle horizon = skip.nextEventCycle();
+        ASSERT_GE(horizon, now) << "seed " << seed;
+        Cycle limit = feed_i < feeds.size() ? feeds[feed_i].at : kEnd;
+        // A refused enqueue must retry every cycle, which pins the
+        // clock to dense stepping while the backlog waits.
+        if (!backlog.empty())
+            limit = now;
+        Cycle jump = std::min(horizon, limit);
+        if (jump > now) {
+            // Random partial skip: any prefix of a no-op stretch must
+            // also be a no-op (the "never overshoot" property).
+            Cycle len = 1 + rng() % (jump - now);
+            skip.skipCycles(len);
+            continue;
+        }
+        skip.step();
+        drain(skip, skip_log);
+        if (feed_i == feeds.size() && backlog.empty() && skip.empty())
+            break;
+    }
+    ASSERT_TRUE(skip.empty()) << "seed " << seed << ": watchdog";
+
+    // Exact agreement: same completions, same cycles, same results,
+    // same aggregate stats.
+    ASSERT_EQ(dense_log.size(), skip_log.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < dense_log.size(); ++i) {
+        EXPECT_TRUE(dense_log[i] == skip_log[i])
+            << "seed " << seed << " completion " << i << ": id "
+            << dense_log[i].id << "@" << dense_log[i].completed_at
+            << " vs id " << skip_log[i].id << "@"
+            << skip_log[i].completed_at;
+    }
+    EXPECT_EQ(dense.stats().grants, skip.stats().grants);
+    EXPECT_EQ(dense.stats().vectors_in, skip.stats().vectors_in);
+    EXPECT_EQ(dense.stats().vectors_out, skip.stats().vectors_out);
+    EXPECT_EQ(dense.stats().splits, skip.stats().splits);
+}
+
+TEST(SpmuHorizonProperty, RandomSkipsNeverOvershootTheHorizon)
+{
+    for (std::uint32_t seed : {3u, 11u, 99u, 2026u, 0xBEEFu})
+        horizonRound(seed);
+}
+
+TEST(SpmuHorizonProperty, HorizonIsNowWhenACompletionIsWaiting)
+{
+    // nextEventCycle() must never hide a dequeue-able vector behind a
+    // future horizon: the machine would fast-forward past the cycle
+    // where the result should have been delivered.
+    std::mt19937 rng(5);
+    sim::SpmuConfig cfg;
+    cfg.queue_depth = 4;
+    sim::SparseMemoryUnit u(cfg, /*with_storage=*/true);
+    ASSERT_TRUE(u.tryEnqueue(randomVector(rng, 1)));
+    for (int i = 0; i < 1000 && u.stats().vectors_out == 0; ++i) {
+        u.step();
+        if (u.nextEventCycle() == u.now()) {
+            if (auto cv = u.tryDequeue()) {
+                SUCCEED();
+                return;
+            }
+        } else {
+            // Horizon in the future: a dequeue must not be possible.
+            EXPECT_FALSE(u.tryDequeue().has_value());
+        }
+    }
+    FAIL() << "vector never completed";
+}
+
+} // namespace

@@ -1,0 +1,19 @@
+// Fixture: a lambda dispatched on the WorkerPool mutating a shared
+// member directly. Concurrent `totals_ +=` from several workers is a
+// data race, and even when TSan gets lucky the accumulation order
+// varies run to run — the write must go through the worker's StepCtx
+// slot and be merged in index order after the barrier.
+struct BadMachine
+{
+    long totals_ = 0;
+    WorkerPool *pool_ = nullptr;
+
+    void step()
+    {
+        pool_->run(16, [this](int begin, int end, int w) {
+            (void)w;
+            for (int t = begin; t < end; ++t)
+                totals_ += t; // Race: unsubscripted shared write.
+        });
+    }
+};
