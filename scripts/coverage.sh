@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# coverage: measure line coverage of the sparse storage layer.
+#
+# Configures a dedicated Debug build with CAPSTAN_COVERAGE=ON
+# (gcov-style instrumentation), runs the unit-test label, and reports
+# per-file line coverage for src/sparse/ via gcovr. The compressed
+# storage codec (src/sparse/compressed.cpp) is the one piece of the
+# tree where an untested branch is a silent data-corruption risk, so
+# its line coverage is enforced against a floor:
+#
+#   src/sparse/ line coverage >= 80%
+#
+# The floor is deliberately per-directory rather than per-repo: the
+# simulation layers are exercised end to end by the differential
+# harnesses, whose coverage is better measured by their own byte
+# -identity contracts than by line counts.
+#
+# Also writes an lcov-format report to <build-dir>/coverage.lcov for
+# CI artifact upload.
+#
+# On hosts without the tooling (gcovr, gcov, cmake) the check skips
+# (exit 77, ctest's SKIP_RETURN_CODE) instead of failing: a missing
+# host package is not a coverage regression.
+#
+# Usage: coverage.sh [build-dir]   (default: build-coverage)
+set -euo pipefail
+
+skip() {
+    echo "coverage: SKIP — $1"
+    exit 77
+}
+
+build_dir="${1:-build-coverage}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+floor_pct=80
+
+command -v cmake >/dev/null 2>&1 || skip "cmake not found"
+command -v gcovr >/dev/null 2>&1 || skip "gcovr not found"
+command -v gcov >/dev/null 2>&1 || skip "gcov not found"
+
+cmake -S "$repo_root" -B "$build_dir" \
+    -DCMAKE_BUILD_TYPE=Debug -DCAPSTAN_COVERAGE=ON >/dev/null
+cmake --build "$build_dir" -j "$(nproc)" >/dev/null
+
+# Stale counters from a previous run would dilute the numbers.
+find "$build_dir" -name '*.gcda' -delete
+
+ctest --test-dir "$build_dir" -L unit --output-on-failure \
+    -j "$(nproc)" >/dev/null
+
+gcovr --root "$repo_root" "$build_dir" \
+    --filter 'src/.*' \
+    --lcov "$build_dir/coverage.lcov" \
+    --print-summary
+
+# Enforce the documented floor on src/sparse/ line coverage.
+sparse_pct=$(gcovr --root "$repo_root" "$build_dir" \
+    --filter 'src/sparse/.*' --json-summary-pretty --json-summary - |
+    python3 -c '
+import json
+import sys
+
+doc = json.load(sys.stdin)
+print(int(doc.get("line_percent", 0)))
+')
+
+echo "coverage: src/sparse/ line coverage ${sparse_pct}%" \
+     "(floor ${floor_pct}%)"
+if [ "$sparse_pct" -lt "$floor_pct" ]; then
+    echo "coverage: FAIL — src/sparse/ line coverage below the" \
+         "${floor_pct}% floor" >&2
+    exit 1
+fi

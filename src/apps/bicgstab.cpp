@@ -29,7 +29,7 @@ norm(const DenseVector &a)
 
 /** One unpreconditioned BiCGStab pass; returns x and final residual. */
 std::pair<DenseVector, double>
-bicgstabSolve(const CsrMatrix &m, const DenseVector &b, int iterations)
+bicgstabSolve(const MatrixView &m, const DenseVector &b, int iterations)
 {
     Index n = m.rows();
     DenseVector x(n, 0);
@@ -70,14 +70,14 @@ bicgstabSolve(const CsrMatrix &m, const DenseVector &b, int iterations)
 } // namespace
 
 DenseVector
-bicgstabReference(const CsrMatrix &m, const DenseVector &b,
+bicgstabReference(const MatrixView &m, const DenseVector &b,
                   int iterations)
 {
     return bicgstabSolve(m, b, iterations).first;
 }
 
 BicgstabResult
-runBicgstab(const CsrMatrix &m, const DenseVector &b, int iterations,
+runBicgstab(const MatrixView &m, const DenseVector &b, int iterations,
             const CapstanConfig &cfg, int tiles, int intra_jobs)
 {
     BicgstabResult res;
@@ -89,7 +89,7 @@ runBicgstab(const CsrMatrix &m, const DenseVector &b, int iterations,
     Machine mach(cfg, tiles, intra_jobs);
     if (cfg.dram.compression)
         mach.setStreamCompression(
-            streamCompressionRatio(m.colIdx(), 0.5));
+            streamCompressionRatio(m.columnStream(), 0.5));
     Tiling tiling = Tiling::roundRobin(m.rows(), tiles);
     Index rows_per_tile = (m.rows() + tiles - 1) / tiles;
 
@@ -111,7 +111,7 @@ runBicgstab(const CsrMatrix &m, const DenseVector &b, int iterations,
         }
         for (int t = 0; t < tiles; ++t) {
             for (Index r : tiling.rowsOf(t)) {
-                auto idx = m.rowIndices(r);
+                auto idx = m.indices(r);
                 Index len = static_cast<Index>(idx.size());
                 if (len == 0) {
                     Token tok;

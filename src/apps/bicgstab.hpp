@@ -13,13 +13,14 @@
 #pragma once
 
 #include "apps/common.hpp"
+#include "sparse/compressed.hpp"
 #include "sparse/dense.hpp"
 #include "sparse/matrix.hpp"
 
 namespace capstan::apps {
 
-using sparse::CsrMatrix;
 using sparse::DenseVector;
+using sparse::MatrixView;
 
 /** Result of a BiCGStab run. */
 struct BicgstabResult
@@ -31,11 +32,11 @@ struct BicgstabResult
 };
 
 /** Golden scalar reference; returns x after @p iterations. */
-DenseVector bicgstabReference(const CsrMatrix &m, const DenseVector &b,
+DenseVector bicgstabReference(const MatrixView &m, const DenseVector &b,
                               int iterations);
 
 /** Fused BiCGStab on Capstan. */
-BicgstabResult runBicgstab(const CsrMatrix &m, const DenseVector &b,
+BicgstabResult runBicgstab(const MatrixView &m, const DenseVector &b,
                            int iterations, const CapstanConfig &cfg,
                            int tiles = kDefaultTiles,
                            int intra_jobs = 1);

@@ -23,7 +23,7 @@ constexpr std::uint32_t kFrontierBase = 1u << 17;
  * lanes point at the destination owners.
  */
 void
-feedLevel(Machine &mach, const CsrMatrix &graph, const Tiling &tiling,
+feedLevel(Machine &mach, const MatrixView &graph, const Tiling &tiling,
           const std::vector<Index> &frontier, int window_bits)
 {
     int tiles = tiling.tiles();
@@ -52,7 +52,7 @@ feedLevel(Machine &mach, const CsrMatrix &graph, const Tiling &tiling,
                 prev_window < 0 ? window : window - prev_window - 1;
             prev_window = window;
 
-            auto dsts = graph.rowIndices(v);
+            auto dsts = graph.indices(v);
             Index len = static_cast<Index>(dsts.size());
             if (len == 0) {
                 Token tok;
@@ -95,7 +95,7 @@ feedLevel(Machine &mach, const CsrMatrix &graph, const Tiling &tiling,
 } // namespace
 
 std::vector<Index>
-bfsReference(const CsrMatrix &graph, Index source)
+bfsReference(const MatrixView &graph, Index source)
 {
     std::vector<Index> level(graph.rows(), -1);
     std::queue<Index> q;
@@ -104,7 +104,7 @@ bfsReference(const CsrMatrix &graph, Index source)
     while (!q.empty()) {
         Index v = q.front();
         q.pop();
-        for (Index d : graph.rowIndices(v)) {
+        for (Index d : graph.indices(v)) {
             if (level[d] < 0) {
                 level[d] = level[v] + 1;
                 q.push(d);
@@ -115,7 +115,7 @@ bfsReference(const CsrMatrix &graph, Index source)
 }
 
 std::vector<Value>
-ssspReference(const CsrMatrix &graph, Index source)
+ssspReference(const MatrixView &graph, Index source)
 {
     constexpr Value inf = std::numeric_limits<Value>::infinity();
     std::vector<Value> dist(graph.rows(), inf);
@@ -128,8 +128,8 @@ ssspReference(const CsrMatrix &graph, Index source)
         pq.pop();
         if (d > dist[v])
             continue;
-        auto idx = graph.rowIndices(v);
-        auto val = graph.rowValues(v);
+        auto idx = graph.indices(v);
+        auto val = graph.values(v);
         for (std::size_t i = 0; i < idx.size(); ++i) {
             Value nd = d + val[i];
             if (nd < dist[idx[i]]) {
@@ -142,7 +142,7 @@ ssspReference(const CsrMatrix &graph, Index source)
 }
 
 BfsResult
-runBfs(const CsrMatrix &graph, Index source, const CapstanConfig &cfg,
+runBfs(const MatrixView &graph, Index source, const CapstanConfig &cfg,
        int tiles, bool write_pointers, int intra_jobs)
 {
     BfsResult res;
@@ -152,7 +152,7 @@ runBfs(const CsrMatrix &graph, Index source, const CapstanConfig &cfg,
     Machine mach(cfg, tiles, intra_jobs);
     if (cfg.dram.compression)
         mach.setStreamCompression(
-            streamCompressionRatio(graph.colIdx(), 0.5));
+            streamCompressionRatio(graph.columnStream(), 0.5));
     Tiling tiling = Tiling::byWeight(graph, tiles);
     int window_bits = std::max(1, cfg.scanner.window_bits);
 
@@ -163,7 +163,7 @@ runBfs(const CsrMatrix &graph, Index source, const CapstanConfig &cfg,
         // Functional expansion of this level.
         std::vector<Index> next;
         for (Index v : frontier) {
-            for (Index d : graph.rowIndices(v)) {
+            for (Index d : graph.indices(v)) {
                 if (res.level[d] < 0) {
                     res.level[d] = depth + 1;
                     res.parent[d] = v; // write-if-zero: first wins.
@@ -201,7 +201,7 @@ runBfs(const CsrMatrix &graph, Index source, const CapstanConfig &cfg,
 }
 
 SsspResult
-runSssp(const CsrMatrix &graph, Index source, const CapstanConfig &cfg,
+runSssp(const MatrixView &graph, Index source, const CapstanConfig &cfg,
         int tiles, bool write_pointers, int intra_jobs)
 {
     constexpr Value inf = std::numeric_limits<Value>::infinity();
@@ -212,7 +212,7 @@ runSssp(const CsrMatrix &graph, Index source, const CapstanConfig &cfg,
     Machine mach(cfg, tiles, intra_jobs);
     if (cfg.dram.compression)
         mach.setStreamCompression(
-            streamCompressionRatio(graph.colIdx(), 0.5));
+            streamCompressionRatio(graph.columnStream(), 0.5));
     Tiling tiling = Tiling::byWeight(graph, tiles);
     int window_bits = std::max(1, cfg.scanner.window_bits);
 
@@ -224,8 +224,8 @@ runSssp(const CsrMatrix &graph, Index source, const CapstanConfig &cfg,
         std::vector<Index> next;
         std::vector<bool> queued(graph.rows(), false);
         for (Index v : frontier) {
-            auto idx = graph.rowIndices(v);
-            auto val = graph.rowValues(v);
+            auto idx = graph.indices(v);
+            auto val = graph.values(v);
             for (std::size_t i = 0; i < idx.size(); ++i) {
                 Value nd = res.dist[v] + val[i];
                 if (nd < res.dist[idx[i]]) {

@@ -16,11 +16,12 @@
 #include <vector>
 
 #include "apps/common.hpp"
+#include "sparse/compressed.hpp"
 #include "sparse/matrix.hpp"
 
 namespace capstan::apps {
 
-using sparse::CsrMatrix;
+using sparse::MatrixView;
 
 /** BFS result: levels and parent pointers plus timing. */
 struct BfsResult
@@ -39,23 +40,23 @@ struct SsspResult
 };
 
 /** Golden scalar BFS (level-synchronous). */
-std::vector<Index> bfsReference(const CsrMatrix &graph, Index source);
+std::vector<Index> bfsReference(const MatrixView &graph, Index source);
 
 /** Golden scalar SSSP (Dijkstra). */
-std::vector<Value> ssspReference(const CsrMatrix &graph, Index source);
+std::vector<Value> ssspReference(const MatrixView &graph, Index source);
 
 /**
  * BFS on Capstan.
  * @param write_pointers Emit back-pointer updates (disabled for the
  *        fairer Graphicionado comparison, Section 4.4).
  */
-BfsResult runBfs(const CsrMatrix &graph, Index source,
+BfsResult runBfs(const MatrixView &graph, Index source,
                  const CapstanConfig &cfg, int tiles = kDefaultTiles,
                  bool write_pointers = true,
                  int intra_jobs = 1);
 
 /** Frontier-based SSSP (Bellman-Ford style) on Capstan. */
-SsspResult runSssp(const CsrMatrix &graph, Index source,
+SsspResult runSssp(const MatrixView &graph, Index source,
                    const CapstanConfig &cfg, int tiles = kDefaultTiles,
                    bool write_pointers = true,
                  int intra_jobs = 1);

@@ -15,7 +15,7 @@ using sparse::Triplet;
 using workloads::Tiling;
 
 CsrMatrix
-matAddReference(const CsrMatrix &a, const CsrMatrix &b)
+matAddReference(const MatrixView &a, const MatrixView &b)
 {
     if (a.rows() != b.rows() || a.cols() != b.cols())
         throw std::invalid_argument(
@@ -23,14 +23,14 @@ matAddReference(const CsrMatrix &a, const CsrMatrix &b)
     std::vector<Triplet> trip;
     trip.reserve(a.nnz() + b.nnz());
     for (Index r = 0; r < a.rows(); ++r) {
-        auto ai = a.rowIndices(r);
-        auto av = a.rowValues(r);
+        auto ai = a.indices(r);
+        auto av = a.values(r);
         for (std::size_t i = 0; i < ai.size(); ++i)
             trip.push_back({r, ai[i], av[i]});
     }
     for (Index r = 0; r < b.rows(); ++r) {
-        auto bi = b.rowIndices(r);
-        auto bv = b.rowValues(r);
+        auto bi = b.indices(r);
+        auto bv = b.values(r);
         for (std::size_t i = 0; i < bi.size(); ++i)
             trip.push_back({r, bi[i], bv[i]});
     }
@@ -38,7 +38,7 @@ matAddReference(const CsrMatrix &a, const CsrMatrix &b)
 }
 
 MatAddResult
-runMatAdd(const CsrMatrix &a, const CsrMatrix &b,
+runMatAdd(const MatrixView &a, const MatrixView &b,
           const CapstanConfig &cfg, int tiles, bool use_bittree,
           int intra_jobs)
 {
@@ -62,8 +62,8 @@ runMatAdd(const CsrMatrix &a, const CsrMatrix &b,
 
     for (int t = 0; t < tiles; ++t) {
         for (Index r : tiling.rowsOf(t)) {
-            auto ai = a.rowIndices(r);
-            auto bi = b.rowIndices(r);
+            auto ai = a.indices(r);
+            auto bi = b.indices(r);
             if (ai.empty() && bi.empty())
                 continue;
             // Bytes: occupancy bits + 4 B per stored value, for both

@@ -13,11 +13,13 @@
 #pragma once
 
 #include "apps/common.hpp"
+#include "sparse/compressed.hpp"
 #include "sparse/matrix.hpp"
 
 namespace capstan::apps {
 
 using sparse::CsrMatrix;
+using sparse::MatrixView;
 
 /** Result of M+M: the sum matrix plus timing. */
 struct MatAddResult
@@ -27,7 +29,7 @@ struct MatAddResult
 };
 
 /** Golden scalar reference: C = A + B. */
-CsrMatrix matAddReference(const CsrMatrix &a, const CsrMatrix &b);
+CsrMatrix matAddReference(const MatrixView &a, const MatrixView &b);
 
 /**
  * M+M on Capstan.
@@ -35,7 +37,7 @@ CsrMatrix matAddReference(const CsrMatrix &a, const CsrMatrix &b);
  *        design); false falls back to flat bit-vector rows, which is
  *        dramatically slower on very sparse rows (Fig. 6a's motivation).
  */
-MatAddResult runMatAdd(const CsrMatrix &a, const CsrMatrix &b,
+MatAddResult runMatAdd(const MatrixView &a, const MatrixView &b,
                        const CapstanConfig &cfg,
                        int tiles = kDefaultTiles,
                        bool use_bittree = true,

@@ -9,20 +9,20 @@ namespace capstan::apps {
 using workloads::Tiling;
 
 DenseVector
-pageRankReference(const CsrMatrix &graph, int iterations, Value damping)
+pageRankReference(const MatrixView &graph, int iterations, Value damping)
 {
     Index n = graph.rows();
     DenseVector rank(n, 1.0f / n);
     std::vector<Index> out_degree(n, 0);
     for (Index u = 0; u < n; ++u)
-        out_degree[u] = graph.rowLength(u);
+        out_degree[u] = graph.length(u);
     for (int it = 0; it < iterations; ++it) {
         DenseVector next(n, (1.0f - damping) / n);
         for (Index u = 0; u < n; ++u) {
             if (out_degree[u] == 0)
                 continue;
             Value share = damping * rank[u] / out_degree[u];
-            for (Index v : graph.rowIndices(u))
+            for (Index v : graph.indices(u))
                 next[v] += share;
         }
         rank = std::move(next);
@@ -31,7 +31,7 @@ pageRankReference(const CsrMatrix &graph, int iterations, Value damping)
 }
 
 PageRankResult
-runPageRankPull(const CsrMatrix &graph, int iterations,
+runPageRankPull(const MatrixView &graph, int iterations,
                 const CapstanConfig &cfg, int tiles, int intra_jobs)
 {
     PageRankResult res;
@@ -39,11 +39,12 @@ runPageRankPull(const CsrMatrix &graph, int iterations,
 
     // Pull iterates in-edges: build the transpose once (offline format
     // preparation, as the paper's tiling step does).
-    CsrMatrix in_edges = graph.transpose();
+    sparse::CsrMatrix in_csr = graph.transposed();
+    MatrixView in_edges(in_csr);
     Machine mach(cfg, tiles, intra_jobs);
     if (cfg.dram.compression)
         mach.setStreamCompression(
-            streamCompressionRatio(in_edges.colIdx(), 1.0));
+            streamCompressionRatio(in_edges.columnStream(), 1.0));
     Tiling tiling = Tiling::byWeight(in_edges, tiles);
 
     for (int it = 0; it < iterations; ++it) {
@@ -62,7 +63,7 @@ runPageRankPull(const CsrMatrix &graph, int iterations,
         }
         for (int t = 0; t < tiles; ++t) {
             for (Index v : tiling.rowsOf(t)) {
-                auto sources = in_edges.rowIndices(v);
+                auto sources = in_edges.indices(v);
                 Index len = static_cast<Index>(sources.size());
                 if (len == 0) {
                     Token tok;
@@ -98,7 +99,7 @@ runPageRankPull(const CsrMatrix &graph, int iterations,
 }
 
 PageRankResult
-runPageRankEdge(const CsrMatrix &graph, int iterations,
+runPageRankEdge(const MatrixView &graph, int iterations,
                 const CapstanConfig &cfg, int tiles, int intra_jobs)
 {
     PageRankResult res;
@@ -111,10 +112,10 @@ runPageRankEdge(const CsrMatrix &graph, int iterations,
         std::vector<Index> ptrs;
         ptrs.reserve(2 * static_cast<std::size_t>(graph.nnz()));
         for (Index u = 0; u < graph.rows(); ++u) {
-            for (Index k = 0; k < graph.rowLength(u); ++k)
+            for (Index k = 0; k < graph.length(u); ++k)
                 ptrs.push_back(u);
         }
-        const auto &dsts = graph.colIdx();
+        const auto &dsts = graph.columnStream();
         ptrs.insert(ptrs.end(), dsts.begin(), dsts.end());
         mach.setStreamCompression(streamCompressionRatio(ptrs, 1.0));
     }
@@ -134,7 +135,7 @@ runPageRankEdge(const CsrMatrix &graph, int iterations,
         }
         for (int t = 0; t < tiles; ++t) {
             for (Index u : tiling.rowsOf(t)) {
-                auto dsts = graph.rowIndices(u);
+                auto dsts = graph.indices(u);
                 emitChunks(static_cast<Index>(dsts.size()),
                            [&](Index base, int lanes) {
                     Token tok = Token::compute(lanes);

@@ -13,13 +13,14 @@
 #pragma once
 
 #include "apps/common.hpp"
+#include "sparse/compressed.hpp"
 #include "sparse/dense.hpp"
 #include "sparse/matrix.hpp"
 
 namespace capstan::apps {
 
-using sparse::CsrMatrix;
 using sparse::DenseVector;
+using sparse::MatrixView;
 
 /** Result of a PageRank run: final ranks plus timing. */
 struct PageRankResult
@@ -29,17 +30,17 @@ struct PageRankResult
 };
 
 /** Golden scalar reference (synchronous power iteration). */
-DenseVector pageRankReference(const CsrMatrix &graph, int iterations,
+DenseVector pageRankReference(const MatrixView &graph, int iterations,
                               Value damping = 0.85f);
 
 /** Pull-based PageRank on Capstan. */
-PageRankResult runPageRankPull(const CsrMatrix &graph, int iterations,
+PageRankResult runPageRankPull(const MatrixView &graph, int iterations,
                                const CapstanConfig &cfg,
                                int tiles = kDefaultTiles,
                                int intra_jobs = 1);
 
 /** Edge-streaming PageRank on Capstan. */
-PageRankResult runPageRankEdge(const CsrMatrix &graph, int iterations,
+PageRankResult runPageRankEdge(const MatrixView &graph, int iterations,
                                const CapstanConfig &cfg,
                                int tiles = kDefaultTiles,
                                int intra_jobs = 1);

@@ -14,20 +14,20 @@ using sparse::Triplet;
 using workloads::Tiling;
 
 CsrMatrix
-spmspmReference(const CsrMatrix &a, const CsrMatrix &b)
+spmspmReference(const MatrixView &a, const MatrixView &b)
 {
     std::vector<Triplet> trip;
     std::vector<Value> acc(b.cols(), 0);
     std::vector<Index> touched;
     for (Index i = 0; i < a.rows(); ++i) {
         touched.clear();
-        auto ai = a.rowIndices(i);
-        auto av = a.rowValues(i);
+        auto ai = a.indices(i);
+        auto av = a.values(i);
         for (std::size_t x = 0; x < ai.size(); ++x) {
             Index j = ai[x];
             Value aij = av[x];
-            auto bi = b.rowIndices(j);
-            auto bv = b.rowValues(j);
+            auto bi = b.indices(j);
+            auto bv = b.values(j);
             for (std::size_t y = 0; y < bi.size(); ++y) {
                 if (acc[bi[y]] == Value{0} && aij * bv[y] != Value{0})
                     touched.push_back(bi[y]);
@@ -44,7 +44,7 @@ spmspmReference(const CsrMatrix &a, const CsrMatrix &b)
 }
 
 SpmspmResult
-runSpmspm(const CsrMatrix &a, const CsrMatrix &b,
+runSpmspm(const MatrixView &a, const MatrixView &b,
           const CapstanConfig &cfg, int tiles, int intra_jobs)
 {
     SpmspmResult res;
@@ -53,7 +53,7 @@ runSpmspm(const CsrMatrix &a, const CsrMatrix &b,
     Machine mach(cfg, tiles, intra_jobs);
     if (cfg.dram.compression)
         mach.setStreamCompression(
-            streamCompressionRatio(b.colIdx(), 0.5));
+            streamCompressionRatio(b.columnStream(), 0.5));
     Tiling tiling = Tiling::roundRobin(a.rows(), tiles);
     int window_bits = std::max(1, cfg.scanner.window_bits);
 
@@ -68,9 +68,9 @@ runSpmspm(const CsrMatrix &a, const CsrMatrix &b,
         std::unordered_set<Index> needed;
         Index64 bytes = 0;
         for (Index i : tiling.rowsOf(t)) {
-            for (Index j : a.rowIndices(i)) {
+            for (Index j : a.indices(i)) {
                 if (needed.insert(j).second)
-                    bytes += 8 * b.rowLength(j);
+                    bytes += 8 * b.length(j);
             }
         }
         while (bytes > 0) {
@@ -97,10 +97,10 @@ runSpmspm(const CsrMatrix &a, const CsrMatrix &b,
     }
     for (int t = 0; t < tiles; ++t) {
         for (Index i : tiling.rowsOf(t)) {
-            auto ai = a.rowIndices(i);
+            auto ai = a.indices(i);
             for (std::size_t x = 0; x < ai.size(); ++x) {
                 Index j = ai[x];
-                auto bi = b.rowIndices(j);
+                auto bi = b.indices(j);
                 Index len = static_cast<Index>(bi.size());
                 bool first = true;
                 emitChunks(len, [&](Index base, int lanes) {
@@ -129,9 +129,10 @@ runSpmspm(const CsrMatrix &a, const CsrMatrix &b,
         mach.addStage(t, {StageKind::DramStream, 1});
         mach.addStage(t, {StageKind::Sink});
     }
+    MatrixView product(res.product);
     for (int t = 0; t < tiles; ++t) {
         for (Index i : tiling.rowsOf(t)) {
-            auto ci = res.product.rowIndices(i);
+            auto ci = product.indices(i);
             if (ci.empty())
                 continue;
             BitVector val =

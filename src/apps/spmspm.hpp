@@ -13,11 +13,13 @@
 #pragma once
 
 #include "apps/common.hpp"
+#include "sparse/compressed.hpp"
 #include "sparse/matrix.hpp"
 
 namespace capstan::apps {
 
 using sparse::CsrMatrix;
+using sparse::MatrixView;
 
 /** Result of SpMSpM: the product matrix plus timing. */
 struct SpmspmResult
@@ -27,10 +29,10 @@ struct SpmspmResult
 };
 
 /** Golden scalar reference (row-merge Gustavson). */
-CsrMatrix spmspmReference(const CsrMatrix &a, const CsrMatrix &b);
+CsrMatrix spmspmReference(const MatrixView &a, const MatrixView &b);
 
 /** SpMSpM on Capstan. */
-SpmspmResult runSpmspm(const CsrMatrix &a, const CsrMatrix &b,
+SpmspmResult runSpmspm(const MatrixView &a, const MatrixView &b,
                        const CapstanConfig &cfg,
                        int tiles = kDefaultTiles,
                        int intra_jobs = 1);

@@ -9,12 +9,12 @@ namespace capstan::apps {
 using workloads::Tiling;
 
 DenseVector
-spmvReference(const CsrMatrix &m, const DenseVector &v)
+spmvReference(const MatrixView &m, const DenseVector &v)
 {
     DenseVector out(m.rows());
     for (Index r = 0; r < m.rows(); ++r) {
-        auto idx = m.rowIndices(r);
-        auto val = m.rowValues(r);
+        auto idx = m.indices(r);
+        auto val = m.values(r);
         Value acc = 0;
         for (std::size_t i = 0; i < idx.size(); ++i)
             acc += val[i] * v[idx[i]];
@@ -24,7 +24,7 @@ spmvReference(const CsrMatrix &m, const DenseVector &v)
 }
 
 SpmvResult
-runSpmvCsr(const CsrMatrix &m, const DenseVector &v,
+runSpmvCsr(const MatrixView &m, const DenseVector &v,
            const CapstanConfig &cfg, int tiles, int intra_jobs)
 {
     SpmvResult res;
@@ -33,7 +33,7 @@ runSpmvCsr(const CsrMatrix &m, const DenseVector &v,
     Machine mach(cfg, tiles, intra_jobs);
     if (cfg.dram.compression)
         mach.setStreamCompression(
-            streamCompressionRatio(m.colIdx(), 0.5));
+            streamCompressionRatio(m.columnStream(), 0.5));
     Tiling tiling = Tiling::roundRobin(m.rows(), tiles);
     for (int t = 0; t < tiles; ++t) {
         // Stream matrix -> gather V[c] on-chip -> multiply -> reduce per
@@ -47,7 +47,7 @@ runSpmvCsr(const CsrMatrix &m, const DenseVector &v,
     }
     for (int t = 0; t < tiles; ++t) {
         for (Index r : tiling.rowsOf(t)) {
-            auto idx = m.rowIndices(r);
+            auto idx = m.indices(r);
             Index len = static_cast<Index>(idx.size());
             if (len == 0) {
                 // Empty row: the row pointer still streams and the
@@ -79,7 +79,7 @@ runSpmvCsr(const CsrMatrix &m, const DenseVector &v,
 }
 
 SpmvResult
-runSpmvCoo(const CsrMatrix &m, const DenseVector &v,
+runSpmvCoo(const MatrixView &m, const DenseVector &v,
            const CapstanConfig &cfg, int tiles, int intra_jobs)
 {
     SpmvResult res;
@@ -153,13 +153,13 @@ runSpmvCoo(const CsrMatrix &m, const DenseVector &v,
 }
 
 SpmvResult
-runSpmvCsc(const CsrMatrix &m, const DenseVector &v,
+runSpmvCsc(const MatrixView &m, const DenseVector &v,
            const CapstanConfig &cfg, int tiles, int intra_jobs)
 {
     SpmvResult res;
     res.out = spmvReference(m, v);
 
-    CscMatrix csc = CscMatrix::fromCsr(m);
+    CscMatrix csc = CscMatrix::adoptTranspose(m.transposed());
     Machine mach(cfg, tiles, intra_jobs);
     if (cfg.dram.compression)
         mach.setStreamCompression(

@@ -15,6 +15,7 @@
 #pragma once
 
 #include "apps/common.hpp"
+#include "sparse/compressed.hpp"
 #include "sparse/dense.hpp"
 #include "sparse/matrix.hpp"
 
@@ -24,6 +25,7 @@ using sparse::CooMatrix;
 using sparse::CscMatrix;
 using sparse::CsrMatrix;
 using sparse::DenseVector;
+using sparse::MatrixView;
 
 /** Result of a SpMV run: the output vector plus timing. */
 struct SpmvResult
@@ -33,16 +35,16 @@ struct SpmvResult
 };
 
 /** Golden scalar reference: out = M * v. */
-DenseVector spmvReference(const CsrMatrix &m, const DenseVector &v);
+DenseVector spmvReference(const MatrixView &m, const DenseVector &v);
 
 /** CSR SpMV on Capstan. */
-SpmvResult runSpmvCsr(const CsrMatrix &m, const DenseVector &v,
+SpmvResult runSpmvCsr(const MatrixView &m, const DenseVector &v,
                       const CapstanConfig &cfg,
                       int tiles = kDefaultTiles,
                       int intra_jobs = 1);
 
 /** COO SpMV on Capstan (matrix streamed in coordinate form). */
-SpmvResult runSpmvCoo(const CsrMatrix &m, const DenseVector &v,
+SpmvResult runSpmvCoo(const MatrixView &m, const DenseVector &v,
                       const CapstanConfig &cfg,
                       int tiles = kDefaultTiles,
                       int intra_jobs = 1);
@@ -51,7 +53,7 @@ SpmvResult runSpmvCoo(const CsrMatrix &m, const DenseVector &v,
  * CSC SpMV on Capstan; @p v is expected to be sparse (the paper uses a
  * 30%-dense input vector, as in the EIE evaluation).
  */
-SpmvResult runSpmvCsc(const CsrMatrix &m, const DenseVector &v,
+SpmvResult runSpmvCsc(const MatrixView &m, const DenseVector &v,
                       const CapstanConfig &cfg,
                       int tiles = kDefaultTiles,
                       int intra_jobs = 1);

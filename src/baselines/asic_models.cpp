@@ -6,7 +6,7 @@
 namespace capstan::baselines {
 
 double
-eieSeconds(const CsrMatrix &m, double vec_density)
+eieSeconds(const MatrixView &m, double vec_density)
 {
     // 64 PEs, 800 MHz, one weight non-zero per PE per cycle; only the
     // columns matching non-zero activations are touched. Weights live

@@ -59,7 +59,7 @@ modelSeconds(const KernelProfile &p, const Rates &r, double fraction)
 
 /** Average BFS/SSSP level count estimate when not supplied. */
 int
-estimateLevels(const CsrMatrix &g)
+estimateLevels(const MatrixView &g)
 {
     // Road-like graphs have huge diameters; power-law ones are shallow.
     double avg_degree =
@@ -98,7 +98,7 @@ gpuSeconds(const KernelProfile &p, double hardware_fraction)
 }
 
 KernelProfile
-profileSpmvCsr(const CsrMatrix &m)
+profileSpmvCsr(const MatrixView &m)
 {
     KernelProfile p;
     p.stream_bytes = 8.0 * m.nnz() + 8.0 * m.rows();
@@ -108,7 +108,7 @@ profileSpmvCsr(const CsrMatrix &m)
 }
 
 KernelProfile
-profileSpmvCoo(const CsrMatrix &m)
+profileSpmvCoo(const MatrixView &m)
 {
     KernelProfile p;
     p.stream_bytes = 12.0 * m.nnz() + 4.0 * m.rows();
@@ -119,7 +119,7 @@ profileSpmvCoo(const CsrMatrix &m)
 }
 
 KernelProfile
-profileSpmvCsc(const CsrMatrix &m, double vec_density)
+profileSpmvCsc(const MatrixView &m, double vec_density)
 {
     KernelProfile p;
     double nnz_eff = m.nnz() * vec_density;
@@ -159,7 +159,7 @@ profileConvSparseCpu(const workloads::ConvLayer &layer)
 }
 
 KernelProfile
-profilePageRankPull(const CsrMatrix &g, int iterations)
+profilePageRankPull(const MatrixView &g, int iterations)
 {
     KernelProfile p;
     p.stream_bytes = iterations * (4.0 * g.nnz() + 12.0 * g.rows());
@@ -171,7 +171,7 @@ profilePageRankPull(const CsrMatrix &g, int iterations)
 }
 
 KernelProfile
-profilePageRankEdge(const CsrMatrix &g, int iterations)
+profilePageRankEdge(const MatrixView &g, int iterations)
 {
     KernelProfile p;
     p.stream_bytes = iterations * (8.0 * g.nnz() + 8.0 * g.rows());
@@ -183,7 +183,7 @@ profilePageRankEdge(const CsrMatrix &g, int iterations)
 }
 
 KernelProfile
-profileBfs(const CsrMatrix &g, int levels)
+profileBfs(const MatrixView &g, int levels)
 {
     if (levels <= 0)
         levels = estimateLevels(g);
@@ -196,7 +196,7 @@ profileBfs(const CsrMatrix &g, int levels)
 }
 
 KernelProfile
-profileSssp(const CsrMatrix &g, int levels)
+profileSssp(const MatrixView &g, int levels)
 {
     if (levels <= 0)
         levels = estimateLevels(g);
@@ -211,7 +211,7 @@ profileSssp(const CsrMatrix &g, int levels)
 }
 
 KernelProfile
-profileMatAdd(const CsrMatrix &a, const CsrMatrix &b)
+profileMatAdd(const MatrixView &a, const MatrixView &b)
 {
     KernelProfile p;
     p.stream_bytes = 8.0 * (a.nnz() + b.nnz()) * 2.0;
@@ -223,13 +223,13 @@ profileMatAdd(const CsrMatrix &a, const CsrMatrix &b)
 }
 
 KernelProfile
-profileSpmspm(const CsrMatrix &a, const CsrMatrix &b)
+profileSpmspm(const MatrixView &a, const MatrixView &b)
 {
     KernelProfile p;
     double mults = 0;
     for (Index i = 0; i < a.rows(); ++i) {
-        for (Index j : a.rowIndices(i))
-            mults += b.rowLength(j);
+        for (Index j : a.indices(i))
+            mults += b.length(j);
     }
     p.flops = 2.0 * mults;
     p.stream_bytes = 8.0 * (a.nnz() + mults);
@@ -240,7 +240,7 @@ profileSpmspm(const CsrMatrix &a, const CsrMatrix &b)
 }
 
 KernelProfile
-profileBicgstab(const CsrMatrix &m, int iterations)
+profileBicgstab(const MatrixView &m, int iterations)
 {
     KernelProfile p;
     double n = m.rows();

@@ -15,14 +15,15 @@
 
 #pragma once
 
+#include "sparse/compressed.hpp"
 #include "sparse/dense.hpp"
 #include "sparse/matrix.hpp"
 #include "workloads/synth.hpp"
 
 namespace capstan::baselines {
 
-using sparse::CsrMatrix;
 using sparse::DenseVector;
+using sparse::MatrixView;
 
 /** Bottleneck characterization of one kernel (or fused kernel chain). */
 struct KernelProfile
@@ -56,9 +57,9 @@ double gpuSeconds(const KernelProfile &profile,
                   double hardware_fraction = 1.0);
 
 /** @name Per-application profile builders (Table 2 semantics). @{ */
-KernelProfile profileSpmvCsr(const CsrMatrix &m);
-KernelProfile profileSpmvCoo(const CsrMatrix &m);
-KernelProfile profileSpmvCsc(const CsrMatrix &m, double vec_density);
+KernelProfile profileSpmvCsr(const MatrixView &m);
+KernelProfile profileSpmvCoo(const MatrixView &m);
+KernelProfile profileSpmvCsc(const MatrixView &m, double vec_density);
 KernelProfile profileConv(const workloads::ConvLayer &layer);
 /**
  * Sparse convolution as a CPU tensor compiler emits it: scalar
@@ -67,18 +68,18 @@ KernelProfile profileConv(const workloads::ConvLayer &layer);
  * so slow; dense GPU libraries use profileConv instead).
  */
 KernelProfile profileConvSparseCpu(const workloads::ConvLayer &layer);
-KernelProfile profilePageRankPull(const CsrMatrix &g, int iterations);
-KernelProfile profilePageRankEdge(const CsrMatrix &g, int iterations);
-KernelProfile profileBfs(const CsrMatrix &g, int levels);
-KernelProfile profileSssp(const CsrMatrix &g, int levels);
-KernelProfile profileMatAdd(const CsrMatrix &a, const CsrMatrix &b);
-KernelProfile profileSpmspm(const CsrMatrix &a, const CsrMatrix &b);
+KernelProfile profilePageRankPull(const MatrixView &g, int iterations);
+KernelProfile profilePageRankEdge(const MatrixView &g, int iterations);
+KernelProfile profileBfs(const MatrixView &g, int levels);
+KernelProfile profileSssp(const MatrixView &g, int levels);
+KernelProfile profileMatAdd(const MatrixView &a, const MatrixView &b);
+KernelProfile profileSpmspm(const MatrixView &a, const MatrixView &b);
 /**
  * BiCGStab as the baselines run it: separate kernels per step, with
  * every intermediate vector round-tripping through DRAM (the fusion
  * the paper's Section 4.4 highlights is exactly what this lacks).
  */
-KernelProfile profileBicgstab(const CsrMatrix &m, int iterations);
+KernelProfile profileBicgstab(const MatrixView &m, int iterations);
 /** @} */
 
 } // namespace capstan::baselines

@@ -318,6 +318,10 @@ parseArgs(const std::vector<std::string> &args)
             if (!value(v))
                 return fail("--dataset-dir requires a directory");
             o.dataset_dir = v;
+        } else if (a == "--matrix-store") {
+            if (!value(v) ||
+                !sparse::parseStoreKind(lower(v), o.matrix_store))
+                return fail("--matrix-store requires csr|compressed");
         } else if (a == "--output") {
             if (!value(v))
                 return fail("--output requires a path");
@@ -448,10 +452,13 @@ usageText()
         "  --tiles N          outer-parallel tiles (default: 16)\n"
         "  --iterations N     PR/BiCGStab iterations (default: 2)\n"
         "\n"
-        "Host execution (stats are identical at every thread count):\n"
+        "Host execution (stats are identical at every setting):\n"
         "  --intra-jobs N     host threads stepping each simulation\n"
         "                     (default: 1; 0 = all cores, divided by\n"
         "                     the sweep pool's --jobs)\n"
+        "  --matrix-store S   csr|compressed matrix dataset backing\n"
+        "                     (default: csr); compressed keeps the\n"
+        "                     delta+varint form in host memory\n"
         "\n"
         "Machine configuration:\n"
         "  --config NAME      capstan|plasticine|ideal\n"

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "sim/config.hpp"
+#include "sparse/compressed.hpp"
 
 namespace capstan::driver {
 
@@ -66,6 +67,15 @@ struct DriverOptions
     bool json = false;            //!< Emit JSON stats instead of text.
     int json_indent = 2;          //!< 0 = compact.
     std::string output;           //!< Write stats here; empty = stdout.
+
+    /**
+     * Backing store for matrix datasets (--matrix-store csr |
+     * compressed). Purely a host-memory representation choice served
+     * through the same read interface: stats are byte-identical under
+     * either store (tests/test_compressed.cpp), so this is not a sweep
+     * axis key. Sweep points inherit it from the base.
+     */
+    sparse::StoreKind matrix_store = sparse::StoreKind::Csr;
 
     /**
      * Worker threads stepping *inside* one simulation (--intra-jobs);

@@ -62,19 +62,23 @@ struct DatasetKey
 };
 
 /**
- * Cache key spanning name, generation scale, and dataset dir. Names
- * that resolve to a real file collapse the scale component: scale
- * only applies to synthetic generation, so without this a scale
- * sweep over a real dataset would re-load and hold one identical
- * multi-hundred-MB matrix per scale value.
+ * Cache key spanning name, generation scale, dataset dir, and backing
+ * store kind. Names that resolve to a real file collapse the scale
+ * component: scale only applies to synthetic generation, so without
+ * this a scale sweep over a real dataset would re-load and hold one
+ * identical multi-hundred-MB matrix per scale value. The store kind
+ * is part of the key so csr and compressed runs in one process (the
+ * differential tests, mixed sweeps) each get their own backing.
  */
 DatasetKey
 datasetKey(const std::string &name, double scale,
-           const std::string &dataset_dir)
+           const std::string &dataset_dir, sparse::StoreKind kind)
 {
     if (realDatasetPath(name, dataset_dir))
         scale = 1.0;
-    return {dataset_dir + '\x1f' + name, std::lround(scale * 1000)};
+    return {dataset_dir + '\x1f' + name + '\x1f' +
+                sparse::storeKindName(kind),
+            std::lround(scale * 1000)};
 }
 
 /**
@@ -121,12 +125,14 @@ template <typename T> class GenerateOnceCache
 
 const MatrixDataset &
 cachedMatrix(const std::string &name, double scale,
-             const std::string &dataset_dir)
+             const std::string &dataset_dir, sparse::StoreKind kind)
 {
     static GenerateOnceCache<MatrixDataset> cache;
-    return cache.get(datasetKey(name, scale, dataset_dir), [&] {
-        return resolveMatrixDataset(name, scale, dataset_dir);
-    });
+    return cache.get(
+        datasetKey(name, scale, dataset_dir, kind), [&] {
+            return resolveMatrixDataset(name, scale, dataset_dir,
+                                        CacheMode::Auto, kind);
+        });
 }
 
 const ConvDataset &
@@ -177,8 +183,12 @@ runApp(const std::string &app, const std::string &dataset,
             .timing;
     }
     const MatrixDataset &d =
-        cachedMatrix(dataset, scale, knobs.dataset_dir);
-    const sparse::CsrMatrix &m = d.matrix;
+        cachedMatrix(dataset, scale, knobs.dataset_dir,
+                     knobs.matrix_store);
+    // Each runner argument below converts d.matrix to its own
+    // MatrixView, so two-matrix apps (SpMSpM's A x A) read through two
+    // independent cursors instead of sharing one decode scratch.
+    const sparse::MatrixStore &m = d.matrix;
     // Graph traversals, M+M (A + A^T), SpMSpM (A x A), and BiCGStab
     // index one dimension with the other's indices, so a rectangular
     // matrix would read/write out of bounds. Every synthetic
@@ -222,11 +232,17 @@ runApp(const std::string &app, const std::string &dataset,
             .timing;
     if (app == "M+M") {
         // Add the dataset to its transpose: same dimensions and
-        // density, different (but correlated) occupancy.
-        static GenerateOnceCache<sparse::CsrMatrix> tcache;
-        const sparse::CsrMatrix &mt =
-            tcache.get(datasetKey(dataset, scale, knobs.dataset_dir),
-                       [&] { return m.transpose(); });
+        // density, different (but correlated) occupancy. The
+        // transpose is stored at the same kind as the dataset so both
+        // operands exercise the selected backing.
+        static GenerateOnceCache<sparse::MatrixStore> tcache;
+        const sparse::MatrixStore &mt = tcache.get(
+            datasetKey(dataset, scale, knobs.dataset_dir,
+                       knobs.matrix_store),
+            [&] {
+                return sparse::MatrixStore::build(knobs.matrix_store,
+                                                  m.transpose());
+            });
         return runMatAdd(m, mt, cfg, knobs.tiles, knobs.use_bittree,
                          knobs.intra_jobs)
             .timing;
@@ -266,6 +282,7 @@ runDriver(const DriverOptions &opts)
     // (main.cpp, capstan-report); re-resolving here keeps direct API
     // callers (tests, bench) on the same >= 1 contract.
     knobs.intra_jobs = resolveIntraJobs(opts.intra_jobs, 1);
+    knobs.matrix_store = opts.matrix_store;
     r.scale = effectiveScale(r.dataset, knobs);
     r.timing = runApp(r.app, r.dataset, r.config, knobs);
 
@@ -276,11 +293,14 @@ runDriver(const DriverOptions &opts)
         r.info.nnz = -1;
     } else {
         const MatrixDataset &d =
-            cachedMatrix(r.dataset, r.scale, knobs.dataset_dir);
+            cachedMatrix(r.dataset, r.scale, knobs.dataset_dir,
+                         knobs.matrix_store);
         r.info.rows = d.matrix.rows();
         r.info.cols = d.matrix.cols();
         r.info.nnz = d.matrix.nnz();
         r.info.source = d.source;
+        r.info.csr_bytes = d.matrix.csrBytes();
+        r.info.encoded_bytes = d.matrix.encodedBytes();
     }
     return r;
 }
@@ -305,6 +325,21 @@ statsToJson(const RunResult &r)
     // unchanged so pre-ingestion stats stay byte-identical.
     if (!r.info.source.empty())
         dataset.set("source", r.info.source);
+    // Matrix datasets carry both storage footprints (conv layers have
+    // neither). The values are measured properties of the matrix, not
+    // of the selected --matrix-store, so the whole document stays
+    // byte-identical across stores.
+    if (r.info.nnz >= 0) {
+        dataset.set("csr_bytes",
+                    static_cast<std::uint64_t>(r.info.csr_bytes));
+        dataset.set("encoded_bytes",
+                    static_cast<std::uint64_t>(r.info.encoded_bytes));
+        dataset.set("compression_ratio",
+                    r.info.encoded_bytes > 0
+                        ? static_cast<double>(r.info.csr_bytes) /
+                              static_cast<double>(r.info.encoded_bytes)
+                        : 0.0);
+    }
     doc.set("dataset", std::move(dataset));
 
     JsonValue cfg = JsonValue::object();
@@ -388,6 +423,12 @@ statsToText(const RunResult &r)
     out << ")\n";
     if (!r.info.source.empty())
         out << "source: " << r.info.source << "\n";
+    if (r.info.nnz >= 0 && r.info.encoded_bytes > 0)
+        out << "storage: " << r.info.csr_bytes << " B csr, "
+            << r.info.encoded_bytes << " B encoded ("
+            << static_cast<double>(r.info.csr_bytes) /
+                   static_cast<double>(r.info.encoded_bytes)
+            << "x)\n";
     out << "config: " << r.config_name << " / "
         << sim::memTechName(r.config.dram.tech) << ", " << r.tiles
         << " tiles\n";

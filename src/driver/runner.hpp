@@ -15,6 +15,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "apps/common.hpp"
@@ -47,6 +48,12 @@ struct RunKnobs
      * identical at every value.
      */
     int intra_jobs = 1;
+    /**
+     * Backing store for matrix datasets (--matrix-store). Purely a
+     * host-memory representation choice: stats are byte-identical
+     * under either kind (tests/test_compressed.cpp).
+     */
+    sparse::StoreKind matrix_store = sparse::StoreKind::Csr;
 };
 
 /**
@@ -80,6 +87,15 @@ struct DatasetInfo
     Index64 nnz = 0; //!< Matrix non-zeros; -1 for conv layers.
     /** Source file of a real dataset; empty for synthetic. */
     std::string source;
+    /**
+     * Storage footprints of the two matrix backings, measured on the
+     * loaded dataset (0 for conv layers): plain CSR bytes and the
+     * delta + group-varint encoded bytes. Identical whichever
+     * --matrix-store kind the run used, so the stats stay
+     * byte-identical across stores.
+     */
+    std::uint64_t csr_bytes = 0;
+    std::uint64_t encoded_bytes = 0;
 };
 
 /**

@@ -43,6 +43,8 @@ struct ReportArgs
     int iterations = 0;
     int jobs = 0;
     int intra_jobs = 1; //!< Threads inside one simulation; 0 = all.
+    capstan::sparse::StoreKind matrix_store =
+        capstan::sparse::StoreKind::Csr;
     bool check = false;
     bool list = false;
     bool help = false;
@@ -77,6 +79,10 @@ const char *kUsage =
     "                     (default 1; 0 = all cores / sweep jobs).\n"
     "                     Purely a wall-clock knob: reports are\n"
     "                     byte-identical at every value\n"
+    "  --matrix-store S   csr|compressed matrix dataset backing\n"
+    "                     (default: csr). Purely a host-memory\n"
+    "                     representation choice: reports are\n"
+    "                     byte-identical under either store\n"
     "  --dataset-dir DIR  resolve Table 6 names to real dataset files\n"
     "                     (DIR/<name>.mtx|.el|.txt) when present;\n"
     "                     absent names fall back to the synthetic\n"
@@ -161,6 +167,10 @@ parseReportArgs(const std::vector<std::string> &args)
                 a.intra_jobs < 0)
                 return fail(
                     "--intra-jobs requires a non-negative integer");
+        } else if (arg == "--matrix-store") {
+            if (!value(v) ||
+                !capstan::sparse::parseStoreKind(v, a.matrix_store))
+                return fail("--matrix-store requires csr|compressed");
         } else if (arg == "--dataset-dir") {
             if (!value(v))
                 return fail("--dataset-dir requires a directory");
@@ -289,6 +299,9 @@ main(int argc, char **argv)
     // (docs/OUTPUT_SCHEMA.md), so reports stay byte-identical.
     meta.knobs.intra_jobs = capstan::driver::resolveIntraJobs(
         args.intra_jobs, capstan::driver::resolveJobs(args.jobs));
+    // Like intra_jobs, the store kind is never rendered into the
+    // report: results are byte-identical under either backing.
+    meta.knobs.matrix_store = args.matrix_store;
     if (!args.dataset_dir.empty()) {
         std::error_code ec;
         if (!std::filesystem::is_directory(args.dataset_dir, ec)) {

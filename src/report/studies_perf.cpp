@@ -360,7 +360,9 @@ runTable12(const StudyContext &ctx)
             } else {
                 auto m =
                     resolveMatrixDataset(ds, scale,
-                                         ctx.knobs.dataset_dir)
+                                         ctx.knobs.dataset_dir,
+                                         CacheMode::Auto,
+                                         ctx.knobs.matrix_store)
                         .matrix;
                 if (app == "CSR")
                     p = profileSpmvCsr(m);
@@ -485,7 +487,9 @@ runTable13(const StudyContext &ctx)
         std::string ds = "ckt11752_dc_1";
         double scale = driver::defaultScale(ds) * ctx.knobs.scale_mult;
         auto m = resolveMatrixDataset(ds, scale,
-                                      ctx.knobs.dataset_dir)
+                                      ctx.knobs.dataset_dir,
+                                      CacheMode::Auto,
+                                      ctx.knobs.matrix_store)
                      .matrix;
         double cap = seconds(driver::runApp(
             "CSC", ds, CapstanConfig::ideal(), ctx.knobs));
@@ -519,7 +523,9 @@ runTable13(const StudyContext &ctx)
                 driver::defaultScale(ds) * ctx.knobs.scale_mult;
             auto g =
                 resolveMatrixDataset(ds, scale,
-                                     ctx.knobs.dataset_dir)
+                                     ctx.knobs.dataset_dir,
+                                     CacheMode::Auto,
+                                     ctx.knobs.matrix_store)
                     .matrix;
             driver::RunKnobs knobs = ctx.knobs;
             knobs.write_pointers = false;
@@ -543,12 +549,15 @@ runTable13(const StudyContext &ctx)
         std::string ds = "qc324";
         double scale = driver::defaultScale(ds) * ctx.knobs.scale_mult;
         auto m = resolveMatrixDataset(ds, scale,
-                                      ctx.knobs.dataset_dir)
+                                      ctx.knobs.dataset_dir,
+                                      CacheMode::Auto,
+                                      ctx.knobs.matrix_store)
                      .matrix;
+        sparse::MatrixView mv(m);
         double mults = 0;
-        for (Index i = 0; i < m.rows(); ++i) {
-            for (Index j : m.rowIndices(i))
-                mults += m.rowLength(j);
+        for (Index i = 0; i < mv.rows(); ++i) {
+            for (Index j : mv.indices(i))
+                mults += mv.length(j);
         }
         double cap = seconds(driver::runApp(
             "SpMSpM", ds, CapstanConfig::capstan(MemTech::HBM2E),

@@ -141,6 +141,18 @@ class CscMatrix
                                   std::vector<Triplet> triplets);
     static CscMatrix fromCsr(const CsrMatrix &csr);
 
+    /**
+     * Adopt an already-transposed CSR (CSC of the original matrix)
+     * without re-transposing — what MatrixView::transposed() hands a
+     * column-major consumer.
+     */
+    static CscMatrix adoptTranspose(CsrMatrix t)
+    {
+        CscMatrix c;
+        c.t_ = std::move(t);
+        return c;
+    }
+
     Index rows() const { return t_.cols(); }
     Index cols() const { return t_.rows(); }
     Index nnz() const { return t_.nnz(); }

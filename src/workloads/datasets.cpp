@@ -204,7 +204,8 @@ realDatasetPath(const std::string &name,
 
 MatrixDataset
 resolveMatrixDataset(const std::string &name, double scale,
-                     const std::string &dataset_dir, CacheMode cache)
+                     const std::string &dataset_dir, CacheMode cache,
+                     sparse::StoreKind kind)
 {
     validateScale(scale);
     bool is_scheme = name.starts_with("file:") ||
@@ -220,7 +221,7 @@ resolveMatrixDataset(const std::string &name, double scale,
                          "': scale does not apply to real dataset "
                          "files; using '" +
                          *path + "' as-is");
-        return {name, loadRealMatrix(*path, cache), *path};
+        return {name, loadRealStore(*path, cache, kind), *path};
     }
     if (name.starts_with("file:")) {
         std::string path = name.substr(5);
@@ -246,15 +247,15 @@ resolveMatrixDataset(const std::string &name, double scale,
             (fs::path(dataset_dir) / (base + ".mtx")).string() +
             "' not found");
     }
-    if (!dataset_dir.empty()) {
-        MatrixDataset d = loadMatrixDataset(name, scale);
+    MatrixDataset d = loadMatrixDataset(name, scale);
+    if (!dataset_dir.empty())
         noteOnce("fallback\x1f" + dataset_dir + "\x1f" + name,
                  "note: dataset '" + name + "': no real file under '" +
                      dataset_dir +
                      "'; using the synthetic stand-in");
-        return d;
-    }
-    return loadMatrixDataset(name, scale);
+    if (kind != sparse::StoreKind::Csr)
+        d.matrix = d.matrix.withKind(kind);
+    return d;
 }
 
 ConvDataset

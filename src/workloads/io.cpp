@@ -398,39 +398,119 @@ readCache(const std::string &cache_path, std::uint64_t src_size,
     return true;
 }
 
-/** Best-effort cache write (atomic rename); failures are ignored. */
+// ---- v2: the compressed form, content-hashed --------------------------
+
+/**
+ * v2 layout: header, then entry_offsets (rows + 1 Index), the encoded
+ * column payload (payload_bytes), and values (nnz Value), host-endian.
+ * src_hash folds the *content* of the source file into the cache key
+ * (v1 trusted size + mtime alone); body_hash checksums the three
+ * array regions so a bit flip anywhere in the body is detected even
+ * when it would decode cleanly.
+ */
+struct CacheHeaderV2
+{
+    char magic[8];
+    std::uint64_t src_size = 0;
+    std::int64_t src_mtime = 0;
+    std::uint64_t src_hash = 0;
+    std::uint64_t body_hash = 0;
+    std::int32_t rows = 0;
+    std::int32_t cols = 0;
+    std::uint64_t nnz = 0;
+    std::uint64_t payload_bytes = 0;
+};
+
+constexpr char kCacheMagicV2[8] = {'C', 'A', 'P', 'C',
+                                   'S', 'R', 'v', '2'};
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t
+fnv1a(std::uint64_t h, const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+std::uint64_t
+bodyHash(const sparse::CompressedCsrMatrix &m)
+{
+    std::uint64_t h = kFnvOffset;
+    const auto &off = m.entryOffsets();
+    const auto &pay = m.encodedPayload();
+    const auto &val = m.flatValues();
+    h = fnv1a(h, off.data(), off.size() * sizeof(off[0]));
+    h = fnv1a(h, pay.data(), pay.size());
+    h = fnv1a(h, val.data(), val.size() * sizeof(val[0]));
+    return h;
+}
+
+/**
+ * Fresh-v2 read: magic + size/mtime stamp, then the source content
+ * hash, then the strict structural read. false = try v1 / re-parse.
+ */
+bool
+readCacheV2(const std::string &cache_path, const std::string &path,
+            std::uint64_t src_size, std::int64_t src_mtime,
+            sparse::CompressedCsrMatrix &out)
+{
+    CacheHeaderV2 h;
+    {
+        std::ifstream in(cache_path, std::ios::binary);
+        if (!in || !in.read(reinterpret_cast<char *>(&h), sizeof(h)))
+            return false;
+    }
+    if (std::memcmp(h.magic, kCacheMagicV2, sizeof(kCacheMagicV2)) !=
+            0 ||
+        h.src_size != src_size || h.src_mtime != src_mtime)
+        return false;
+    try {
+        if (hashFileContents(path) != h.src_hash)
+            return false; // Same stamp, different bytes: re-parse.
+        out = readCompressedCache(cache_path);
+    } catch (const DatasetError &) {
+        return false; // Corrupt cache: rebuild from the text.
+    }
+    return true;
+}
+
+/** Best-effort v2 cache write (atomic rename); failures are ignored. */
 void
-writeCache(const std::string &cache_path, std::uint64_t src_size,
-           std::int64_t src_mtime, const CsrMatrix &m)
+writeCacheV2(const std::string &cache_path, std::uint64_t src_size,
+             std::int64_t src_mtime, std::uint64_t src_hash,
+             const sparse::CompressedCsrMatrix &m)
 {
     std::string tmp = cache_path + ".tmp";
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         if (!out)
             return;
-        CacheHeader h;
-        std::memcpy(h.magic, kCacheMagic, sizeof(kCacheMagic));
+        CacheHeaderV2 h;
+        std::memcpy(h.magic, kCacheMagicV2, sizeof(kCacheMagicV2));
         h.src_size = src_size;
         h.src_mtime = src_mtime;
+        h.src_hash = src_hash;
+        h.body_hash = bodyHash(m);
         h.rows = m.rows();
         h.cols = m.cols();
         h.nnz = static_cast<std::uint64_t>(m.nnz());
-        // CsrMatrix::fromParts guarantees these; a violation here
-        // would serialize a cache readCache() rejects forever.
-        CAPSTAN_CHECK(m.rowPtr().size() ==
-                          static_cast<std::size_t>(m.rows()) + 1 &&
-                      m.colIdx().size() == h.nnz &&
-                      m.values().size() == h.nnz,
-                  "cache write would not match its own header");
+        h.payload_bytes =
+            static_cast<std::uint64_t>(m.encodedPayload().size());
         auto writeVec = [&](const auto &vec) {
             out.write(reinterpret_cast<const char *>(vec.data()),
                       static_cast<std::streamsize>(vec.size() *
                                                    sizeof(vec[0])));
         };
         out.write(reinterpret_cast<const char *>(&h), sizeof(h));
-        writeVec(m.rowPtr());
-        writeVec(m.colIdx());
-        writeVec(m.values());
+        writeVec(m.entryOffsets());
+        writeVec(m.encodedPayload());
+        writeVec(m.flatValues());
         if (!out)
             return;
     }
@@ -456,6 +536,112 @@ matrixCachePath(const std::string &path)
     return path + ".cbin";
 }
 
+std::uint64_t
+hashFileContents(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw DatasetError("cannot open file for hashing: '" + path +
+                           "'");
+    std::uint64_t h = kFnvOffset;
+    char buf[64 * 1024];
+    while (in) {
+        in.read(buf, sizeof(buf));
+        h = fnv1a(h, buf, static_cast<std::size_t>(in.gcount()));
+    }
+    if (in.bad())
+        throw DatasetError("read error while hashing '" + path + "'");
+    return h;
+}
+
+sparse::CompressedCsrMatrix
+readCompressedCache(const std::string &cache_path)
+{
+    auto reject = [&](const std::string &why) -> DatasetError {
+        return DatasetError("invalid compressed cache '" + cache_path +
+                            "': " + why);
+    };
+    std::ifstream in(cache_path, std::ios::binary);
+    if (!in)
+        throw reject("cannot open file");
+    CacheHeaderV2 h;
+    if (!in.read(reinterpret_cast<char *>(&h), sizeof(h)))
+        throw reject("truncated header");
+    if (std::memcmp(h.magic, kCacheMagicV2, sizeof(kCacheMagicV2)) != 0)
+        throw reject("bad magic");
+    if (h.rows < 0 || h.cols < 0 ||
+        h.nnz > static_cast<std::uint64_t>(
+                    std::numeric_limits<Index>::max()) ||
+        h.payload_bytes >
+            std::numeric_limits<std::uint32_t>::max())
+        throw reject("header counts out of range");
+    // The header's counts are untrusted until they match the cache
+    // file's actual size; checking first keeps a bit-flipped header
+    // from triggering multi-GB allocations.
+    std::error_code ec;
+    auto cache_size = fs::file_size(cache_path, ec);
+    std::uint64_t expected =
+        sizeof(CacheHeaderV2) +
+        sizeof(Index) * (static_cast<std::uint64_t>(h.rows) + 1) +
+        h.payload_bytes + sizeof(Value) * h.nnz;
+    if (ec || static_cast<std::uint64_t>(cache_size) != expected)
+        throw reject("file size does not match header");
+    std::vector<Index> entry_offsets(
+        static_cast<std::size_t>(h.rows) + 1);
+    std::vector<std::uint8_t> payload(
+        static_cast<std::size_t>(h.payload_bytes));
+    std::vector<Value> values(static_cast<std::size_t>(h.nnz));
+    auto readVec = [&](auto &vec) {
+        return static_cast<bool>(in.read(
+            reinterpret_cast<char *>(vec.data()),
+            static_cast<std::streamsize>(vec.size() *
+                                         sizeof(vec[0]))));
+    };
+    if (!readVec(entry_offsets) || !readVec(payload) ||
+        !readVec(values))
+        throw reject("truncated body");
+    if (in.get() != std::ifstream::traits_type::eof())
+        throw reject("trailing bytes after the body");
+    std::uint64_t body = kFnvOffset;
+    body = fnv1a(body, entry_offsets.data(),
+                 entry_offsets.size() * sizeof(entry_offsets[0]));
+    body = fnv1a(body, payload.data(), payload.size());
+    body = fnv1a(body, values.data(),
+                 values.size() * sizeof(values[0]));
+    if (body != h.body_hash)
+        throw reject("body checksum mismatch");
+    try {
+        return sparse::CompressedCsrMatrix::fromParts(
+            h.rows, h.cols, std::move(entry_offsets),
+            std::move(payload), std::move(values));
+    } catch (const std::invalid_argument &e) {
+        throw reject(e.what());
+    }
+}
+
+namespace {
+
+/** Whether a parsed text file of @p src_size bytes gets cached. */
+bool
+shouldWriteCache(CacheMode mode, std::uint64_t src_size)
+{
+    return mode == CacheMode::Force ||
+           (mode == CacheMode::Auto && src_size >= kAutoCacheBytes);
+}
+
+/** Parse the text form of @p path (throws DatasetError on failure). */
+CsrMatrix
+parseRealFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw DatasetError("cannot open dataset file '" + path + "'");
+    return isMatrixMarketPath(path) ? readMatrixMarket(in, path)
+                                    : readEdgeList(in, path);
+}
+
+} // namespace
+
 CsrMatrix
 loadRealMatrix(const std::string &path, CacheMode mode)
 {
@@ -465,21 +651,52 @@ loadRealMatrix(const std::string &path, CacheMode mode)
         throw DatasetError("cannot open dataset file '" + path + "'");
 
     std::string cache_path = matrixCachePath(path);
-    CsrMatrix m;
-    if (mode != CacheMode::Off &&
-        readCache(cache_path, src_size, src_mtime, m))
-        return m;
+    if (mode != CacheMode::Off) {
+        sparse::CompressedCsrMatrix comp;
+        if (readCacheV2(cache_path, path, src_size, src_mtime, comp))
+            return comp.toCsr();
+        CsrMatrix cached;
+        if (readCache(cache_path, src_size, src_mtime, cached))
+            return cached;
+    }
 
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        throw DatasetError("cannot open dataset file '" + path + "'");
-    m = isMatrixMarketPath(path) ? readMatrixMarket(in, path)
-                                 : readEdgeList(in, path);
-
-    if (mode == CacheMode::Force ||
-        (mode == CacheMode::Auto && src_size >= kAutoCacheBytes))
-        writeCache(cache_path, src_size, src_mtime, m);
+    CsrMatrix m = parseRealFile(path);
+    if (shouldWriteCache(mode, src_size))
+        writeCacheV2(cache_path, src_size, src_mtime,
+                     hashFileContents(path),
+                     sparse::CompressedCsrMatrix::fromCsr(m));
     return m;
+}
+
+sparse::MatrixStore
+loadRealStore(const std::string &path, CacheMode mode,
+              sparse::StoreKind kind)
+{
+    if (kind == sparse::StoreKind::Csr)
+        return sparse::MatrixStore(loadRealMatrix(path, mode));
+
+    std::uint64_t src_size = 0;
+    std::int64_t src_mtime = 0;
+    if (!sourceStamp(path, src_size, src_mtime))
+        throw DatasetError("cannot open dataset file '" + path + "'");
+
+    std::string cache_path = matrixCachePath(path);
+    if (mode != CacheMode::Off) {
+        sparse::CompressedCsrMatrix comp;
+        if (readCacheV2(cache_path, path, src_size, src_mtime, comp))
+            return sparse::MatrixStore(std::move(comp));
+        CsrMatrix cached;
+        if (readCache(cache_path, src_size, src_mtime, cached))
+            return sparse::MatrixStore(
+                sparse::CompressedCsrMatrix::fromCsr(cached));
+    }
+
+    auto comp =
+        sparse::CompressedCsrMatrix::fromCsr(parseRealFile(path));
+    if (shouldWriteCache(mode, src_size))
+        writeCacheV2(cache_path, src_size, src_mtime,
+                     hashFileContents(path), comp);
+    return sparse::MatrixStore(std::move(comp));
 }
 
 } // namespace capstan::workloads

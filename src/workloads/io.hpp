@@ -20,18 +20,23 @@
  *    `max id + 1`, missing weights default to 1.
  *
  * Parsed matrices can be memoized next to the source file in a
- * versioned binary cache (`<path>.cbin`) keyed on the source's size
- * and mtime, so repeated sweeps over multi-hundred-MB text files pay
- * the parse once. A stale or corrupt cache is ignored and rebuilt,
- * never trusted.
+ * versioned binary cache (`<path>.cbin`). The current v2 format
+ * stores the delta + group-varint compressed form directly
+ * (sparse/compressed.hpp) and is keyed on the source's size, mtime,
+ * *and* an FNV-1a content hash — closing the v1 gap where a
+ * same-size, same-mtime, different-content file could hit a stale
+ * cache. Legacy v1 (plain CSR) caches still load; all new writes are
+ * v2. A stale or corrupt cache is ignored and rebuilt, never trusted.
  */
 
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <stdexcept>
 #include <string>
 
+#include "sparse/compressed.hpp"
 #include "sparse/matrix.hpp"
 #include "sparse/types.hpp"
 
@@ -86,6 +91,36 @@ std::string matrixCachePath(const std::string &path);
  */
 sparse::CsrMatrix loadRealMatrix(const std::string &path,
                                  CacheMode mode = CacheMode::Auto);
+
+/**
+ * Load a dataset file into a MatrixStore of the requested kind (see
+ * loadRealMatrix for cache behaviour). A v2 cache hit hands the
+ * compressed form straight to a StoreKind::Compressed store with no
+ * decode; other combinations convert after loading. Throws
+ * DatasetError when the file is missing or malformed.
+ */
+sparse::MatrixStore
+loadRealStore(const std::string &path, CacheMode mode = CacheMode::Auto,
+              sparse::StoreKind kind = sparse::StoreKind::Csr);
+
+/**
+ * Strictly read a v2 `.cbin` cache file. Every structural property is
+ * validated before use — magic, counts, the exact file size the
+ * header implies, an FNV-1a checksum over the array bytes, and a full
+ * decode walk of the encoded payload — so a truncated or bit-flipped
+ * file is rejected with DatasetError instead of crashing or
+ * overreading (tests/test_property.cpp fuzzes exactly this entry
+ * point). Freshness against the source file is the caller's concern;
+ * loadRealStore layers the size/mtime/content-hash check on top.
+ */
+sparse::CompressedCsrMatrix
+readCompressedCache(const std::string &cache_path);
+
+/**
+ * FNV-1a 64-bit hash of a file's bytes — the content component of the
+ * v2 cache key. Throws DatasetError when the file cannot be read.
+ */
+std::uint64_t hashFileContents(const std::string &path);
 
 } // namespace capstan::workloads
 

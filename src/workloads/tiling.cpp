@@ -22,7 +22,7 @@ Tiling::imbalance() const
 }
 
 Tiling
-Tiling::byWeight(const sparse::CsrMatrix &m, int tiles)
+Tiling::byWeight(const sparse::MatrixView &m, int tiles)
 {
     CAPSTAN_CHECK(tiles > 0);
     Tiling t;
@@ -33,13 +33,13 @@ Tiling::byWeight(const sparse::CsrMatrix &m, int tiles)
 
     Index64 total = 0;
     for (Index r = 0; r < m.rows(); ++r)
-        total += std::max<Index>(1, m.rowLength(r));
+        total += std::max<Index>(1, m.length(r));
     Index64 per_tile = (total + tiles - 1) / tiles;
 
     int cur = 0;
     Index64 acc = 0;
     for (Index r = 0; r < m.rows(); ++r) {
-        Index64 w = std::max<Index>(1, m.rowLength(r));
+        Index64 w = std::max<Index>(1, m.length(r));
         if (acc + w > per_tile && cur + 1 < tiles && acc > 0) {
             ++cur;
             acc = 0;

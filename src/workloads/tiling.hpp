@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "sparse/compressed.hpp"
 #include "sparse/matrix.hpp"
 #include "sparse/types.hpp"
 
@@ -46,7 +47,7 @@ class Tiling
      * Contiguous partition balanced by per-row weight (edge count):
      * the Metis substitute for graphs and banded matrices.
      */
-    static Tiling byWeight(const sparse::CsrMatrix &m, int tiles);
+    static Tiling byWeight(const sparse::MatrixView &m, int tiles);
 
     /** Round-robin partition of rows (linear-algebra default). */
     static Tiling roundRobin(Index rows, int tiles);

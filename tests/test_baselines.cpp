@@ -15,7 +15,7 @@ using namespace capstan::workloads;
 
 namespace {
 
-CsrMatrix
+sparse::MatrixStore
 medium()
 {
     return loadMatrixDataset("Trefethen_20000", 0.25).matrix;

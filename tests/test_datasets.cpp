@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <limits>
@@ -308,7 +309,7 @@ TEST(FromParts, ValidatesEveryInvariant)
                  std::invalid_argument);
 }
 
-TEST(Cache, HitSkipsReparsingTheSource)
+TEST(Cache, RoundTripsThroughTheV2Binary)
 {
     fs::path dir = scratchDir("capstan_cache_hit");
     fs::path mtx = dir / "m.mtx";
@@ -316,20 +317,96 @@ TEST(Cache, HitSkipsReparsingTheSource)
     auto first = loadRealMatrix(mtx.string(), CacheMode::Force);
     ASSERT_TRUE(fs::exists(matrixCachePath(mtx.string())));
 
-    // Corrupt the source text but restore its size + mtime identity:
-    // a fresh cache must win, proving the text was not re-parsed.
-    auto stamp = fs::last_write_time(mtx);
-    std::string garbage(fs::file_size(mtx), 'x');
-    writeFile(mtx, garbage);
-    fs::last_write_time(mtx, stamp);
-    auto cached = loadRealMatrix(mtx.string(), CacheMode::Auto);
+    // The written cache is the strict v2 form and decodes to exactly
+    // the parsed matrix.
+    auto cached = readCompressedCache(matrixCachePath(mtx.string()))
+                      .toCsr();
     EXPECT_EQ(cached.rowPtr(), first.rowPtr());
     EXPECT_EQ(cached.colIdx(), first.colIdx());
     EXPECT_EQ(cached.values(), first.values());
 
-    // With the cache off, the garbage is parsed and rejected.
-    EXPECT_THROW(loadRealMatrix(mtx.string(), CacheMode::Off),
+    // And the loader agrees with itself through the cache path.
+    auto again = loadRealMatrix(mtx.string(), CacheMode::Auto);
+    EXPECT_EQ(again.colIdx(), first.colIdx());
+}
+
+TEST(Cache, ContentHashMissesOnSameStampDifferentContent)
+{
+    // The v1 gap this format closes: a rewrite that lands on the same
+    // size and mtime must still miss, because the v2 key includes a
+    // content hash. The rewrite here differs from kTinyGeneral in one
+    // byte (the last value, 0.5 -> 0.75 would change the size; use
+    // 0.7), so size is identical and the mtime is restored manually.
+    fs::path dir = scratchDir("capstan_cache_samestamp");
+    fs::path mtx = dir / "m.mtx";
+    writeFile(mtx, kTinyGeneral);
+    auto first = loadRealMatrix(mtx.string(), CacheMode::Force);
+    EXPECT_FLOAT_EQ(first.at(2, 3), 0.5f);
+
+    std::string rewritten(kTinyGeneral);
+    rewritten.replace(rewritten.rfind("0.5"), 3, "0.7");
+    ASSERT_EQ(rewritten.size(), std::string(kTinyGeneral).size());
+    auto stamp = fs::last_write_time(mtx);
+    writeFile(mtx, rewritten);
+    fs::last_write_time(mtx, stamp);
+
+    auto second = loadRealMatrix(mtx.string(), CacheMode::Auto);
+    EXPECT_FLOAT_EQ(second.at(2, 3), 0.7f)
+        << "stale cache served despite changed content";
+
+    // Same stamp, garbage content: the miss re-parses and rejects.
+    std::string garbage(fs::file_size(mtx), 'x');
+    writeFile(mtx, garbage);
+    fs::last_write_time(mtx, stamp);
+    EXPECT_THROW(loadRealMatrix(mtx.string(), CacheMode::Auto),
                  DatasetError);
+}
+
+TEST(Cache, LegacyV1CachesStillHitOnSizeAndMtime)
+{
+    // v1 caches (plain CSR, keyed on size + mtime only) must keep
+    // loading. The cache here deliberately holds a *different* matrix
+    // than the source text, which doubles as proof that a v1 hit
+    // skips re-parsing entirely.
+    fs::path dir = scratchDir("capstan_cache_v1");
+    fs::path mtx = dir / "m.mtx";
+    writeFile(mtx, kTinyGeneral);
+
+    std::ofstream out(matrixCachePath(mtx.string()), std::ios::binary);
+    const char magic[8] = {'C', 'A', 'P', 'C', 'S', 'R', 'v', '1'};
+    std::uint64_t src_size = fs::file_size(mtx);
+    std::int64_t src_mtime = static_cast<std::int64_t>(
+        fs::last_write_time(mtx).time_since_epoch().count());
+    std::int32_t rows = 2, cols = 2;
+    std::uint64_t nnz = 1;
+    auto put = [&](const void *p, std::size_t n) {
+        out.write(static_cast<const char *>(p),
+                  static_cast<std::streamsize>(n));
+    };
+    put(magic, sizeof(magic));
+    put(&src_size, sizeof(src_size));
+    put(&src_mtime, sizeof(src_mtime));
+    put(&rows, sizeof(rows));
+    put(&cols, sizeof(cols));
+    put(&nnz, sizeof(nnz));
+    const std::int32_t row_ptr[3] = {0, 1, 1};
+    const std::int32_t col_idx[1] = {0};
+    const float values[1] = {42.0f};
+    put(row_ptr, sizeof(row_ptr));
+    put(col_idx, sizeof(col_idx));
+    put(values, sizeof(values));
+    out.close();
+
+    auto m = loadRealMatrix(mtx.string(), CacheMode::Auto);
+    EXPECT_EQ(m.rows(), 2);
+    EXPECT_EQ(m.nnz(), 1);
+    EXPECT_FLOAT_EQ(m.at(0, 0), 42.0f);
+
+    // The same v1 cache also feeds the compressed store path.
+    auto s = loadRealStore(mtx.string(), CacheMode::Auto,
+                           sparse::StoreKind::Compressed);
+    EXPECT_EQ(s.kind(), sparse::StoreKind::Compressed);
+    EXPECT_FLOAT_EQ(s.at(0, 0), 42.0f);
 }
 
 TEST(Cache, InvalidatesWhenTheSourceChanges)

@@ -46,6 +46,15 @@ worker-shared-state
                  breaks the byte-identical-stats contract. Route the
                  value through the worker's StepCtx accumulator and
                  merge it in index order instead.
+raw-csr          A raw CSR row accessor (.rowIndices/.rowValues/
+                 .rowPtr/.rowLength/.colIdx) outside src/sparse/.
+                 Matrix consumers must read through the
+                 sparse::MatrixView seam so every app works with both
+                 the plain-CSR and the compressed backing store
+                 (--matrix-store); a direct CSR access silently pins
+                 the code to one backing. Locally built CSR results
+                 (an app's own product matrix) can wrap a local
+                 MatrixView or suppress with a justification.
 bad-suppression  A capstan-lint allow-comment without a justification.
 
 Suppressing a finding
@@ -78,12 +87,20 @@ LINT_CLASSES = (
     "using-namespace",
     "schema-sync",
     "worker-shared-state",
+    "raw-csr",
     "bad-suppression",
 )
 
 # The one place raw numeric parsing is allowed: the validated parse
 # helpers every CLI funnels through.
 RAW_PARSE_ALLOWED = {os.path.join("src", "driver", "options.cpp")}
+
+# The sparse layer itself implements the backings and may touch raw
+# CSR arrays; everything else must go through sparse::MatrixView.
+RAW_CSR_ALLOWED_PREFIX = os.path.join("src", "sparse") + os.sep
+RAW_CSR_RE = re.compile(
+    r"(?:\.|->)\s*(rowIndices|rowValues|rowPtr|rowLength|colIdx)"
+    r"\s*\(")
 
 # JSON writers whose .set("key") literals define the output schema.
 SCHEMA_EMITTERS = (
@@ -359,6 +376,17 @@ def lint_source(relpath, text, sibling_text=""):
                 add(idx, "raw-parse",
                     f"raw {m.group(1)}() outside the validated parse "
                     f"helpers in src/driver/options.cpp")
+
+    # raw-csr ----------------------------------------------------------
+    if not relpath.replace("\\", "/").startswith(
+            RAW_CSR_ALLOWED_PREFIX.replace("\\", "/")):
+        for idx, line in enumerate(code_lines, start=1):
+            m = RAW_CSR_RE.search(line)
+            if m:
+                add(idx, "raw-csr",
+                    f"raw CSR accessor .{m.group(1)}() outside "
+                    f"src/sparse/; read through sparse::MatrixView so "
+                    f"both --matrix-store backings work")
 
     # worker-shared-state ----------------------------------------------
     for first_line, body in worker_lambda_regions(code):

@@ -1,0 +1,16 @@
+// Fixture: a raw CSR row accessor outside src/sparse/ pins the code
+// to the plain-CSR backing; consumers must read through
+// sparse::MatrixView so --matrix-store compressed works everywhere.
+#include <vector>
+
+struct FakeCsr
+{
+    std::vector<int> ptr;
+    const std::vector<int> &rowPtr() const { return ptr; }
+};
+
+int
+firstRowStart(const FakeCsr &m)
+{
+    return m.rowPtr().front();
+}
