@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Run the clang static analyzer (the clang-analyzer-* checks, path-
+# sensitive symbolic execution) over every first-party translation
+# unit in the compilation database. Kept separate from
+# scripts/run_clang_tidy.sh on purpose: the curated .clang-tidy set
+# deliberately contains no clang-analyzer-* checks (they are an order
+# of magnitude slower), so this script is the analyzer's only entry
+# point and the two layers can be enforced independently. Usage:
+#
+#   scripts/run_clang_analyzer.sh <build-dir> [extra clang-tidy args...]
+#
+# Exit codes: 0 clean, 1 findings, 2 usage error, 77 clang-tidy not
+# installed (ctest interprets 77 as SKIP via SKIP_RETURN_CODE — local
+# trees without clang-tidy stay green; CI installs it and enforces).
+set -euo pipefail
+
+if [ "$#" -lt 1 ]; then
+    echo "usage: $0 <build-dir> [clang-tidy args...]" >&2
+    exit 2
+fi
+build_dir=$1
+shift
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+    echo "run_clang_analyzer: no compile_commands.json in $build_dir" \
+         "(configure with CMake first)" >&2
+    exit 2
+fi
+
+tidy=$(command -v clang-tidy || true)
+if [ -z "$tidy" ]; then
+    # Probe versioned names (Debian/Ubuntu install clang-tidy-NN).
+    for ver in 20 19 18 17 16 15 14; do
+        if command -v "clang-tidy-$ver" >/dev/null 2>&1; then
+            tidy="clang-tidy-$ver"
+            break
+        fi
+    done
+fi
+if [ -z "$tidy" ]; then
+    echo "run_clang_analyzer: clang-tidy not installed; skipping (77)" >&2
+    exit 77
+fi
+
+mapfile -t sources < <(find "$repo_root/src" -name '*.cpp' | sort)
+
+echo "run_clang_analyzer: $tidy (clang-analyzer-*) over" \
+     "${#sources[@]} files"
+status=0
+"$tidy" -p "$build_dir" --quiet \
+    --checks='-*,clang-analyzer-*' \
+    --warnings-as-errors='clang-analyzer-*' \
+    "$@" "${sources[@]}" || status=$?
+if [ "$status" -ne 0 ]; then
+    echo "run_clang_analyzer: findings above (exit $status)" >&2
+    exit 1
+fi
+echo "run_clang_analyzer: clean"

@@ -16,11 +16,13 @@
 #include <vector>
 
 #include "lang/machine.hpp"
+#include "lang/timing.hpp"
 #include "sim/config.hpp"
 #include "sim/dram.hpp"
 
 namespace capstan::apps {
 
+using lang::AppTiming;
 using lang::Machine;
 using lang::StageKind;
 using lang::StageSpec;
@@ -33,26 +35,6 @@ constexpr int kDefaultTiles = 16;
 
 /** Latency of a vectorized arithmetic stage (CU pipeline depth). */
 constexpr Cycle kMapLatency = 4;
-
-/** Timing outcome of one application run. */
-struct AppTiming
-{
-    Cycle cycles = 0;              //!< Total simulated cycles.
-    lang::RunTotals totals;        //!< Stall-statistic inputs (Fig. 7).
-    sim::DramStats dram;           //!< Off-chip traffic.
-    sim::SpmuStats spmu;           //!< On-chip memory behaviour.
-    double runtime_ms = 0;         //!< cycles / clock.
-
-    void finish(Machine &m)
-    {
-        cycles = m.totals().cycles;
-        totals = m.totals();
-        dram = m.dram().stats();
-        spmu = m.spmuTotals();
-        runtime_ms = static_cast<double>(cycles) /
-                     (m.config().clock_ghz * 1e6);
-    }
-};
 
 /**
  * Chunk @p count work items into 16-lane tokens and hand each to

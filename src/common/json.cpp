@@ -1,11 +1,11 @@
-#include "driver/json.hpp"
+#include "common/json.hpp"
 
 #include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
-namespace capstan::driver {
+namespace capstan::common {
 
 double
 JsonValue::asNumber() const
@@ -403,4 +403,4 @@ JsonValue::parse(const std::string &text)
     return Parser(text).parseDocument();
 }
 
-} // namespace capstan::driver
+} // namespace capstan::common

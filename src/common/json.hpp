@@ -1,13 +1,16 @@
 /**
  * @file
- * Minimal JSON document model for the simulation driver.
+ * Minimal JSON document model shared across the tree.
  *
- * `capstan-run` emits machine-readable stats and the test suite parses
- * them back; both sides share this self-contained value type so the
- * round-trip needs no external dependency. The subset is exactly what
- * the stats schema uses: objects with ordered keys, arrays, strings,
- * doubles, booleans, and null. Numbers are emitted with enough digits
- * to round-trip an IEEE double.
+ * The driver emits machine-readable stats, the report pipeline parses
+ * the paper reference, and the test suite round-trips both; every side
+ * shares this self-contained value type so none of them needs an
+ * external dependency. Living in `common/` keeps JSON below every
+ * layer that serializes (driver, report) in the include DAG
+ * (`tools/audit/layers.json`). The subset is exactly what the stats
+ * schema uses: objects with ordered keys, arrays, strings, doubles,
+ * booleans, and null. Numbers are emitted with enough digits to
+ * round-trip an IEEE double.
  */
 
 #pragma once
@@ -19,7 +22,7 @@
 #include <utility>
 #include <vector>
 
-namespace capstan::driver {
+namespace capstan::common {
 
 /** Thrown by JsonValue::parse on malformed input. */
 class JsonParseError : public std::runtime_error
@@ -106,5 +109,5 @@ class JsonValue
     std::vector<std::pair<std::string, JsonValue>> members_;
 };
 
-} // namespace capstan::driver
+} // namespace capstan::common
 

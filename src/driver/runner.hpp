@@ -19,13 +19,15 @@
 #include <string>
 
 #include "apps/common.hpp"
-#include "driver/json.hpp"
+#include "common/json.hpp"
 #include "driver/options.hpp"
 #include "sim/config.hpp"
 
 namespace capstan::driver {
 
 using apps::AppTiming;
+using common::JsonParseError;
+using common::JsonValue;
 using sim::CapstanConfig;
 
 /** Per-run knobs shared by the CLI and the bench harness. */

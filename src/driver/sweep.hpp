@@ -30,7 +30,7 @@
 #include <string>
 #include <vector>
 
-#include "driver/json.hpp"
+#include "common/json.hpp"
 #include "driver/options.hpp"
 #include "driver/runner.hpp"
 

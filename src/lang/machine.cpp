@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "common/check.hpp"
+#include "common/env.hpp"
 
 namespace capstan::lang {
 
@@ -54,7 +55,7 @@ Machine::Machine(const CapstanConfig &cfg, int tiles, int intra_jobs)
     // test can flip it between in-process runs). With no pool the
     // machine takes the exact serial stepping path.
     int workers = std::min(intra_jobs, tiles);
-    if (workers > 1 && std::getenv("CAPSTAN_NO_INTRA") == nullptr)
+    if (workers > 1 && std::getenv(common::env::kNoIntra) == nullptr)
         pool_ = std::make_unique<common::WorkerPool>(workers);
     step_ctx_.resize(pool_ ? pool_->workers() : 1);
     dram_staged_.resize(tiles);
@@ -181,6 +182,10 @@ Machine::fireDramStage(int t, int s, const Token &tok, StepCtx &ctx)
                 bytes = std::max<std::uint64_t>(
                     1, static_cast<std::uint64_t>(
                            bytes / stream_compression_));
+            // capstan-audit: allow(thread-escape) -- fireDramStage is
+            // never reached from the parallel walk: deferred tiles
+            // stage into dram_staged_[t] and break first, and
+            // commitStagedDram replays the call in serial tile order.
             Cycle done = dram_.streamAccess(bytes, now_);
             extra += done - now_;
         }
@@ -522,6 +527,10 @@ Machine::stepTile(int t, StepCtx &ctx, bool deferred)
                 advance(t, s, moved, 0, ctx);
                 break;
             }
+            // capstan-audit: allow(thread-escape) -- SpmuCross stages
+            // never step inside the parallel walk: has_cross tiles are
+            // skipped by the worker lambda and replayed serially, and
+            // the DCHECK above this case enforces !deferred.
             if (!shuffle_.tryInject(t, sv))
                 break;
             pending_[uid] = Pending{t, s, tok, valid};
@@ -581,7 +590,7 @@ Machine::runPhase(Cycle max_cycles)
     // stepping. Results must be identical either way (the golden tests
     // pin this); the env var exists to bisect any future divergence.
     static const bool kDenseStepping =
-        std::getenv("CAPSTAN_NO_FF") != nullptr;
+        std::getenv(common::env::kNoFastForward) != nullptr;
     Cycle start = now_;
     auto workRemains = [&]() -> bool {
         if (!pending_.empty() || !shuffle_.empty())

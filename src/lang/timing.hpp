@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Timing outcome of one application run.
+ *
+ * Every Table 2 application drives a `lang::Machine` and snapshots the
+ * same four stat groups when the run finishes; `AppTiming` is that
+ * snapshot. It lives in `lang/` — not `apps/` — because it depends
+ * only on the Machine and the hardware-model stats, and the report
+ * layer consumes it without knowing any application exists
+ * (`tools/audit/layers.json` keeps `report` off the `apps` layer).
+ */
+
+#pragma once
+
+#include "lang/machine.hpp"
+#include "sim/config.hpp"
+#include "sim/dram.hpp"
+#include "sim/spmu.hpp"
+
+namespace capstan::lang {
+
+/** Timing outcome of one application run. */
+struct AppTiming
+{
+    sim::Cycle cycles = 0;         //!< Total simulated cycles.
+    RunTotals totals;              //!< Stall-statistic inputs (Fig. 7).
+    sim::DramStats dram;           //!< Off-chip traffic.
+    sim::SpmuStats spmu;           //!< On-chip memory behaviour.
+    double runtime_ms = 0;         //!< cycles / clock.
+
+    void finish(Machine &m)
+    {
+        cycles = m.totals().cycles;
+        totals = m.totals();
+        dram = m.dram().stats();
+        spmu = m.spmuTotals();
+        runtime_ms = static_cast<double>(cycles) /
+                     (m.config().clock_ghz * 1e6);
+    }
+};
+
+} // namespace capstan::lang

@@ -60,7 +60,7 @@ gmean(const std::vector<double> &values)
 }
 
 double
-seconds(const apps::AppTiming &t)
+seconds(const lang::AppTiming &t)
 {
     return t.runtime_ms / 1000.0;
 }

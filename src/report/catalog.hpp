@@ -11,7 +11,7 @@
 #include <string>
 #include <vector>
 
-#include "apps/common.hpp"
+#include "lang/timing.hpp"
 
 namespace capstan::report {
 
@@ -32,7 +32,7 @@ std::string sensitivityDataset(const std::string &app);
 double gmean(const std::vector<double> &values);
 
 /** Seconds for a timing at the configuration's clock. */
-double seconds(const apps::AppTiming &t);
+double seconds(const lang::AppTiming &t);
 
 } // namespace capstan::report
 

@@ -7,7 +7,7 @@
 
 namespace capstan::report {
 
-using driver::JsonValue;
+using common::JsonValue;
 
 Reference
 Reference::fromJson(const JsonValue &doc)

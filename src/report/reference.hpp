@@ -23,7 +23,7 @@
 #include <utility>
 #include <vector>
 
-#include "driver/json.hpp"
+#include "common/json.hpp"
 
 namespace capstan::report {
 
@@ -68,7 +68,7 @@ class Reference
      * "rel": r, "abs": a}}}}}. Unknown shapes throw
      * std::invalid_argument.
      */
-    static Reference fromJson(const driver::JsonValue &doc);
+    static Reference fromJson(const common::JsonValue &doc);
 
     /** Read and parse a file; throws std::runtime_error on I/O. */
     static Reference fromFile(const std::string &path);

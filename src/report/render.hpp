@@ -14,7 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "driver/json.hpp"
+#include "common/json.hpp"
 #include "report/study.hpp"
 
 namespace capstan::report {
@@ -62,7 +62,7 @@ std::string renderCsv(const std::vector<StudyRun> &runs,
                       const Reference *reference);
 
 /** The machine-readable report (docs/OUTPUT_SCHEMA.md). */
-driver::JsonValue reportToJson(const std::vector<StudyRun> &runs,
+common::JsonValue reportToJson(const std::vector<StudyRun> &runs,
                                const ReportMeta &meta);
 
 } // namespace capstan::report

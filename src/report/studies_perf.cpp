@@ -56,7 +56,7 @@ toStrings(const std::vector<double> &values)
 {
     std::vector<std::string> out;
     for (double v : values)
-        out.push_back(driver::JsonValue(v).dump());
+        out.push_back(common::JsonValue(v).dump());
     return out;
 }
 

@@ -10,7 +10,7 @@
 #include <cmath>
 #include <limits>
 
-#include "driver/json.hpp"
+#include "common/json.hpp"
 #include "driver/options.hpp"
 #include "driver/runner.hpp"
 #include "driver/sweep.hpp"

@@ -14,7 +14,7 @@
 #include <thread>
 #include <vector>
 
-#include "driver/json.hpp"
+#include "common/json.hpp"
 #include "driver/options.hpp"
 #include "driver/runner.hpp"
 #include "driver/sweep.hpp"

@@ -1,0 +1,8 @@
+#pragma once
+
+namespace capstan::common::env {
+
+// Never read anywhere: a stale kill switch.
+inline constexpr const char *kGhost = "CAPSTAN_GHOST";
+
+}  // namespace capstan::common::env

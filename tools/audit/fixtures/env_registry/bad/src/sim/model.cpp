@@ -1,0 +1,5 @@
+#include <cstdlib>
+
+bool secretEnabled() {
+  return std::getenv("CAPSTAN_SECRET") != nullptr;
+}

@@ -1,0 +1,7 @@
+#pragma once
+
+namespace capstan::common::env {
+
+inline constexpr const char *kTrace = "CAPSTAN_TRACE";
+
+}  // namespace capstan::common::env

@@ -1,0 +1,11 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+
+namespace capstan {
+
+bool traceEnabled() {
+  return std::getenv(common::env::kTrace) != nullptr;
+}
+
+}  // namespace capstan

@@ -1,0 +1,15 @@
+#include "driver/options.hpp"
+#include <vector>
+
+std::vector<std::string> optionKeys() { return {"app"}; }
+
+bool applyOption(DriverOptions &o, const std::string &key,
+                 const std::string &value) {
+  if (key == "app") {
+    o.app = value;
+    return true;
+  }
+  return false;
+}
+
+const char *usageText() { return "  --app NAME   application\n"; }

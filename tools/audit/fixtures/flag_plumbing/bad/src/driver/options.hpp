@@ -1,0 +1,7 @@
+#pragma once
+#include <string>
+
+struct DriverOptions {
+  std::string app = "spmv";
+  int ghost_knob = 0;
+};

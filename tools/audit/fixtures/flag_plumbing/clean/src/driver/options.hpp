@@ -1,0 +1,7 @@
+#pragma once
+#include <string>
+
+struct DriverOptions {
+  std::string app = "spmv";
+  std::string output;
+};

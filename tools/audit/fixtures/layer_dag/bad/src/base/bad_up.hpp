@@ -1,0 +1,3 @@
+#pragma once
+#include "top/app.hpp"
+inline int badUp() { return app(); }

@@ -1,0 +1,1 @@
+int stray() { return 0; }

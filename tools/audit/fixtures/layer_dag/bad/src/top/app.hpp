@@ -1,0 +1,3 @@
+#pragma once
+#include "side/util.hpp"
+inline int app() { return util() + 1; }

@@ -1,0 +1,3 @@
+#pragma once
+#include "base/core.hpp"
+inline int util() { return core() + 1; }

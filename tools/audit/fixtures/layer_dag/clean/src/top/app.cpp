@@ -1,0 +1,3 @@
+#include "base/core.hpp"
+#include "side/util.hpp"
+int app() { return core() + util(); }

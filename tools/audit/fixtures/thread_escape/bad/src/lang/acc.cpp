@@ -1,0 +1,36 @@
+// thread-escape bad fixture: the worker lambda writes a
+// reference-captured local, and calls a member function that writes
+// unsubscripted shared members two hops away.
+#include <vector>
+
+namespace common {
+struct WorkerPool {
+  template <typename F>
+  void run(int n, F f);
+};
+}  // namespace common
+
+class Accumulator {
+ public:
+  void runAll();
+
+ private:
+  void addSlow(int v);
+
+  common::WorkerPool *pool_ = nullptr;
+  long total_ = 0;
+  std::vector<int> vals_;
+};
+
+void Accumulator::addSlow(int v) {
+  total_ += v;
+  vals_.push_back(v);
+}
+
+void Accumulator::runAll() {
+  int local = 0;
+  pool_->run(4, [&](int w) {
+    local += w;
+    addSlow(w);
+  });
+}

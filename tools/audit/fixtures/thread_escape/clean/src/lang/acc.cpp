@@ -1,0 +1,27 @@
+// thread-escape clean fixture: workers only touch their own
+// subscripted slot and purely local state.
+#include <vector>
+
+namespace common {
+struct WorkerPool {
+  template <typename F>
+  void run(int n, F f);
+};
+}  // namespace common
+
+class Accumulator {
+ public:
+  void runAll();
+
+ private:
+  common::WorkerPool *pool_ = nullptr;
+  std::vector<long> slots_;
+};
+
+void Accumulator::runAll() {
+  pool_->run(4, [this](int w) {
+    long x = 0;
+    x += w;
+    slots_[w] += x;
+  });
+}

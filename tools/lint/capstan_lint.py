@@ -1,5 +1,8 @@
 #!/usr/bin/env python3
-"""capstan-lint: project-invariant static checks over src/.
+"""capstan-lint: project-invariant static checks over src/ (all
+classes) and tests/ + tools/ (the determinism classes — goldens and
+fixtures feed byte-compared artifacts too; seeded lint/audit fixture
+corpora are excluded).
 
 The reproduction's correctness claims rest on invariants the compiler
 cannot see: byte-identical stats across thread counts and platforms, a
@@ -205,11 +208,13 @@ def strip_comments(text):
 
 
 def collect_suppressions(lines):
-    """Map line number -> (class, has_justification).
+    """Map line number -> {class: allow-comment line}.
 
     An allow-comment suppresses findings of its class on its own line,
     on any directly following comment-only lines, and on the first
-    code line after the comment block.
+    code line after the comment block. The allow-comment's own line is
+    kept so a consumer (capstan-audit's stale-suppression class) can
+    tell which suppressions actually absorbed a finding.
     """
     suppressed = {}
     findings = []
@@ -237,7 +242,7 @@ def collect_suppressions(lines):
                 break
             j += 1
         for ln in span:
-            suppressed.setdefault(ln, set()).add(cls)
+            suppressed.setdefault(ln, {}).setdefault(cls, idx)
     return suppressed, findings
 
 
@@ -293,19 +298,44 @@ def worker_lambda_regions(code):
     return regions
 
 
-def lint_source(relpath, text, sibling_text=""):
-    """Per-file lint classes over one source/header file."""
+# The determinism trio also runs over tests/ and tools/: goldens and
+# fixtures feed byte-compared artifacts, so they must be as
+# deterministic as src/. The structural/layering classes stay
+# src-only (tests legitimately parse strings, print addresses of
+# nothing, and include what they like).
+DETERMINISM_CLASSES = frozenset(
+    {"unordered-iter", "nondet-source", "pointer-print",
+     "bad-suppression"})
+
+
+def lint_source(relpath, text, sibling_text="", classes=None,
+                used_suppressions=None):
+    """Per-file lint classes over one source/header file.
+
+    @p classes restricts which lint classes run (None = all).
+    @p used_suppressions, when a set, collects
+    (relpath, allow_line, class) for every suppression that absorbed
+    a live finding — the input for capstan-audit's stale-suppression
+    class.
+    """
     findings = []
     lines = text.splitlines()
     suppressed, supp_findings = collect_suppressions(lines)
     for f in supp_findings:
+        if classes is not None and f.cls not in classes:
+            continue
         f.path = relpath
         findings.append(f)
     code = strip_comments(text)
     code_lines = code.splitlines()
 
     def add(line_no, cls, message):
-        if cls in suppressed.get(line_no, ()):
+        if classes is not None and cls not in classes:
+            return
+        allow_line = suppressed.get(line_no, {}).get(cls)
+        if allow_line is not None:
+            if used_suppressions is not None:
+                used_suppressions.add((relpath, allow_line, cls))
             return
         findings.append(Finding(relpath, line_no, cls, message))
 
@@ -499,7 +529,22 @@ def iter_source_files(root):
             yield path
 
 
-def lint_tree(root, report_json=None):
+def iter_aux_source_files(root):
+    """C++ sources under tests/ and tools/, minus seeded fixtures
+    (those are deliberately violating corpora for the self-tests)."""
+    for tree in ("tests", "tools"):
+        top = root / tree
+        if not top.is_dir():
+            continue
+        for path in sorted(top.rglob("*")):
+            if path.suffix not in (".hpp", ".cpp", ".h"):
+                continue
+            if "fixtures" in path.relative_to(root).parts:
+                continue
+            yield path
+
+
+def lint_tree(root, report_json=None, used_suppressions=None):
     findings = []
     siblings = {}
     for path in iter_source_files(root):
@@ -511,7 +556,13 @@ def lint_tree(root, report_json=None):
         for sib in siblings.get(path.with_suffix(""), []):
             if sib != path:
                 sibling_text += sib.read_text(encoding="utf-8")
-        findings += lint_source(rel, text, sibling_text)
+        findings += lint_source(rel, text, sibling_text,
+                                used_suppressions=used_suppressions)
+    for path in iter_aux_source_files(root):
+        rel = os.path.relpath(path, root)
+        findings += lint_source(rel, path.read_text(encoding="utf-8"),
+                                classes=DETERMINISM_CLASSES,
+                                used_suppressions=used_suppressions)
     findings += lint_schema_sync(root, report_json)
     return findings
 
