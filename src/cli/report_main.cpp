@@ -3,11 +3,19 @@
  * `capstan-report`: one-command paper reproduction.
  *
  * Runs registered studies (report/study.hpp) — every figure and table
- * the paper publishes — through the driver's parallel sweep engine,
- * renders docs/RESULTS.md (Markdown), report.json, and optionally a
- * metrics CSV, and with `--check` compares every checked metric
- * against the paper values in data/paper_reference.json, exiting
- * non-zero iff any artifact deviates beyond its tolerance.
+ * the paper publishes — renders docs/RESULTS.md (Markdown),
+ * report.json, and optionally a metrics CSV, and with `--check`
+ * compares every checked metric against the paper values in
+ * data/paper_reference.json, exiting non-zero iff any artifact
+ * deviates beyond its tolerance.
+ *
+ * Front-end only: each selected study becomes an engine::JobRequest
+ * executed on the shared engine layer (src/engine/) — the same path a
+ * `capstan-serve` study job takes, with the same presets
+ * (engine::presetKnobs) and the same warm dataset cache across
+ * studies. SIGINT/SIGTERM stop the study loop cooperatively: the
+ * in-flight sweep point finishes, the partial report is flushed with
+ * `"interrupted": true`, and the process exits 130.
  *
  *   capstan-report --all --preset quick --check
  *   capstan-report --study table12 --study fig5 --jobs 8
@@ -23,15 +31,20 @@
 #include <system_error>
 #include <vector>
 
+#include "common/interrupt.hpp"
 #include "driver/options.hpp"
+#include "engine/engine.hpp"
 #include "report/catalog.hpp"
 #include "report/render.hpp"
 #include "report/study.hpp"
-#include "workloads/io.hpp"
 
 namespace {
 
 using namespace capstan::report;
+namespace engine = capstan::engine;
+
+/** Exit status of a report cut short by SIGINT/SIGTERM. */
+constexpr int kInterruptedExit = 130;
 
 struct ReportArgs
 {
@@ -157,7 +170,7 @@ parseReportArgs(const std::vector<std::string> &args)
         } else if (arg == "--jobs") {
             // Same contract as capstan-run/capstan-sweep: negative is
             // rejected here; 0 (the default) means "all cores" and is
-            // resolved by driver::resolveJobs() inside the sweep pool.
+            // resolved by driver::resolveJobs() inside the engine.
             if (!value(v) || !capstan::driver::parseInt(v, a.jobs) ||
                 a.jobs < 0)
                 return fail("--jobs requires a non-negative integer");
@@ -229,6 +242,25 @@ writeFile(const std::string &path, const std::string &content)
     return true;
 }
 
+/** The engine request one selected study resolves to. */
+engine::JobRequest
+studyRequest(const ReportArgs &args, const std::string &study)
+{
+    engine::JobRequest req;
+    req.kind = engine::JobRequest::Kind::Study;
+    req.study = study;
+    req.preset = args.preset;
+    if (args.scale > 0)
+        req.scale = args.scale;
+    if (args.tiles > 0)
+        req.tiles = args.tiles;
+    if (args.iterations > 0)
+        req.iterations = args.iterations;
+    req.check = args.check;
+    req.jobs = args.jobs;
+    return req;
+}
+
 } // namespace
 
 int
@@ -272,36 +304,6 @@ main(int argc, char **argv)
         return 0;
     }
 
-    // Presets: quick mirrors the bench_smoke scales (and is what the
-    // reference tolerances are calibrated against); full mirrors the
-    // bench defaults.
-    ReportMeta meta;
-    meta.preset = args.preset;
-    meta.checked = args.check;
-    if (args.preset == "quick") {
-        meta.knobs.scale_mult = 0.02;
-        meta.knobs.tiles = 4;
-        meta.knobs.iterations = 1;
-    } else {
-        meta.knobs.scale_mult = 1.0;
-        meta.knobs.tiles = 16;
-        meta.knobs.iterations = 2;
-    }
-    if (args.scale > 0)
-        meta.knobs.scale_mult = args.scale;
-    if (args.tiles > 0)
-        meta.knobs.tiles = args.tiles;
-    if (args.iterations > 0)
-        meta.knobs.iterations = args.iterations;
-    // 0 = all cores, split against the sweep pool so --jobs J
-    // --intra-jobs 0 stays near the machine's core budget. The report
-    // renderers never emit this knob: stats are thread-count-invariant
-    // (docs/OUTPUT_SCHEMA.md), so reports stay byte-identical.
-    meta.knobs.intra_jobs = capstan::driver::resolveIntraJobs(
-        args.intra_jobs, capstan::driver::resolveJobs(args.jobs));
-    // Like intra_jobs, the store kind is never rendered into the
-    // report: results are byte-identical under either backing.
-    meta.knobs.matrix_store = args.matrix_store;
     if (!args.dataset_dir.empty()) {
         std::error_code ec;
         if (!std::filesystem::is_directory(args.dataset_dir, ec)) {
@@ -310,70 +312,72 @@ main(int argc, char **argv)
                       << "' is not a directory\n";
             return 2;
         }
-        meta.knobs.dataset_dir = args.dataset_dir;
     }
 
-    // Load the paper reference: an explicit path must parse; the
-    // default search tolerates absence (studies then print plain
+    engine::EngineConfig cfg;
+    cfg.jobs = args.jobs;
+    cfg.intra_jobs = args.intra_jobs;
+    cfg.dataset_dir = args.dataset_dir;
+    cfg.matrix_store = args.matrix_store;
+    cfg.reference = args.reference;
+    engine::Engine eng(cfg);
+
+    // Load the paper reference up front: an explicit path must parse;
+    // the default search tolerates absence (studies then print plain
     // "ours" cells) unless --check needs it.
-    Reference reference;
-    bool have_reference = false;
+    const Reference *reference = nullptr;
     try {
-        if (!args.reference.empty()) {
-            reference = Reference::fromFile(args.reference);
-            have_reference = true;
-        } else {
-            for (const std::string &path :
-                 {std::string("data/paper_reference.json"),
-                  std::string("../data/paper_reference.json")}) {
-                std::ifstream probe(path);
-                if (!probe)
-                    continue;
-                reference = Reference::fromFile(path);
-                have_reference = true;
-                break;
-            }
-        }
+        reference = eng.reference();
     } catch (const std::exception &e) {
         std::cerr << "capstan-report: " << e.what() << "\n";
         return 2;
     }
-    if (args.check && !have_reference) {
+    if (args.check && !reference) {
         std::cerr << "capstan-report: --check needs a paper reference "
                      "(pass --reference data/paper_reference.json)\n";
         return 2;
     }
 
-    StudyContext ctx;
-    ctx.knobs = meta.knobs;
-    ctx.jobs = args.jobs;
-    ctx.reference = have_reference ? &reference : nullptr;
+    // Every selected study resolves to the same knobs; take them from
+    // the first request (they feed ReportMeta, not execution).
+    ReportMeta meta;
+    meta.preset = args.preset;
+    meta.checked = args.check;
+    meta.knobs =
+        eng.studyKnobs(studyRequest(args, selected.empty()
+                                              ? std::string()
+                                              : selected[0]->name));
+
+    capstan::common::installInterruptHandlers();
 
     std::vector<StudyRun> runs;
     bool dataset_usage_error = false;
+    bool interrupted = false;
     for (const Study *study : selected) {
+        if (capstan::common::interruptRequested()) {
+            interrupted = true;
+            break; // Unstarted studies are simply not in the report.
+        }
         std::fprintf(stderr, "capstan-report: running %s (%s)...\n",
                      study->name.c_str(), study->artifact.c_str());
+        engine::ExecHooks hooks;
+        hooks.cancel = &capstan::common::interruptFlag();
+        engine::JobResult res =
+            eng.execute(studyRequest(args, study->name), hooks);
         StudyRun run;
-        run.study = study;
-        try {
-            run.result = study->run(ctx);
-            run.ok = true;
-            if (have_reference)
-                run.check = reference.check(study->name,
-                                            run.result.metrics);
-        } catch (const capstan::workloads::DatasetError &e) {
-            // A bad dataset name or a missing/malformed file under
-            // --dataset-dir is a usage error (exit 2 below), not a
-            // study crash.
-            run.error = e.what();
-            dataset_usage_error = true;
-        } catch (const std::exception &e) {
-            run.error = e.what();
+        if (res.study_run) {
+            run = *res.study_run;
+        } else {
+            run.study = study;
+            run.error = res.error;
         }
+        dataset_usage_error |= res.usage_error;
+        interrupted |= res.interrupted;
         std::fprintf(stderr, "capstan-report:   %s: %s\n",
                      study->name.c_str(), run.verdict().c_str());
         runs.push_back(std::move(run));
+        if (interrupted)
+            break;
     }
 
     bool wrote = true;
@@ -383,16 +387,14 @@ main(int argc, char **argv)
         wrote &= writeFile(
             args.json, reportToJson(runs, meta).dump(2) + "\n");
     if (!args.csv.empty())
-        wrote &= writeFile(
-            args.csv,
-            renderCsv(runs, have_reference ? &reference : nullptr));
+        wrote &= writeFile(args.csv, renderCsv(runs, reference));
     if (!wrote)
         return 1;
 
     // Summary + exit status.
     std::size_t errors = 0, deviations = 0;
     for (const auto &run : runs) {
-        errors += run.ok ? 0 : 1;
+        errors += run.ok || run.interrupted ? 0 : 1;
         deviations += run.check.deviations.size();
         std::printf("%-18s %-12s %s", run.study->name.c_str(),
                     run.study->artifact.c_str(),
@@ -401,6 +403,11 @@ main(int argc, char **argv)
             std::printf(" (%zu/%zu checked metrics)",
                         run.check.passed, run.check.checked);
         std::printf("\n");
+    }
+    if (interrupted) {
+        std::fprintf(stderr, "capstan-report: interrupted; partial "
+                             "report flushed\n");
+        return kInterruptedExit;
     }
     if (errors > 0) {
         std::printf("%zu stud%s failed to run\n", errors,

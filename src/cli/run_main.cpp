@@ -2,16 +2,22 @@
  * @file
  * `capstan-run`: the unified command-line simulation driver.
  *
- * Composes an application, a workload, and a machine configuration from
- * flags, runs the cycle-level simulation, and reports stats as either a
- * human-readable summary or machine-readable JSON. With `--sweep` /
- * `--axis` it instead expands a declarative SweepSpec into a cartesian
- * work list and executes it on a thread pool (driver/sweep.hpp),
- * emitting one aggregated JSON report (plus optional CSV).
+ * Front-end only: flags parse into driver::DriverOptions (unchanged),
+ * which become an engine::JobRequest executed on the shared engine
+ * layer (src/engine/) — the same path `capstan-serve` jobs take, which
+ * is what the byte-identity differential test pins
+ * (tests/test_engine.cpp). With `--sweep` / `--axis` the request is a
+ * sweep; the engine expands and runs it on its worker pool and this
+ * front-end just streams stderr progress and writes the report.
  *
  * The same binary also builds as `capstan-sweep`, an alias whose first
  * positional argument is the sweep spec: `capstan-sweep spec.json
  * --jobs 8` is `capstan-run --sweep spec.json --jobs 8`.
+ *
+ * SIGINT/SIGTERM interrupt cooperatively: the current point finishes
+ * (single runs unwind at the next simulation step), the partial JSON
+ * report is flushed with `"interrupted": true`, and the process exits
+ * 130.
  */
 
 #include <cstdio>
@@ -24,14 +30,20 @@
 #include <system_error>
 #include <vector>
 
+#include "common/interrupt.hpp"
 #include "driver/options.hpp"
 #include "driver/runner.hpp"
 #include "driver/sweep.hpp"
-#include "workloads/io.hpp"
+#include "engine/engine.hpp"
 
 namespace {
 
 using namespace capstan::driver;
+namespace engine = capstan::engine;
+namespace common = capstan::common;
+
+/** Exit status of a run cut short by SIGINT/SIGTERM. */
+constexpr int kInterruptedExit = 130;
 
 std::string
 programName(const char *argv0)
@@ -63,10 +75,34 @@ writeReport(const std::string &path, const std::string &report,
 int
 runSingle(const DriverOptions &opts, const std::string &prog)
 {
-    RunResult result = runDriver(opts);
+    engine::Engine eng{engine::EngineConfig{}};
+    engine::JobRequest req;
+    req.kind = engine::JobRequest::Kind::Run;
+    req.options = opts;
+    engine::ExecHooks hooks;
+    hooks.cancel = &common::interruptFlag();
+    engine::JobResult res = eng.execute(req, hooks);
+
+    if (res.interrupted) {
+        // The partial identity document is all we have; it is always
+        // JSON (a half-run simulation has no text summary).
+        std::cerr << prog << ": interrupted\n";
+        writeReport(opts.output,
+                    res.document.dump(opts.json_indent) + "\n", prog);
+        return kInterruptedExit;
+    }
+    if (res.usage_error) {
+        std::cerr << prog << ": " << res.error << "\n"
+                  << datasetHint() << "\n";
+        return 2;
+    }
+    if (!res.ok) {
+        std::cerr << prog << ": " << res.error << "\n";
+        return 1;
+    }
     std::string report =
-        opts.json ? statsToJson(result).dump(opts.json_indent) + "\n"
-                  : statsToText(result);
+        opts.json ? res.document.dump(opts.json_indent) + "\n"
+                  : statsToText(*res.run);
     return writeReport(opts.output, report, prog) ? 0 : 1;
 }
 
@@ -111,18 +147,25 @@ runSweepMode(const DriverOptions &opts, const std::string &prog)
         return 0;
     }
 
-    int jobs = resolveJobs(opts.jobs);
-    // --intra-jobs 0 shares the core budget with the sweep pool:
-    // resolve it against the pool size here so J concurrent points do
-    // not each spin up an all-cores Machine pool. Explicit values pass
-    // through (the user opted into J * intra threads).
-    for (DriverOptions &p : points)
-        p.intra_jobs = resolveIntraJobs(p.intra_jobs, jobs);
+    engine::EngineConfig cfg;
+    cfg.jobs = opts.jobs;
+    engine::Engine eng(cfg);
     std::fprintf(stderr, "%s: %zu points on %d thread%s\n",
-                 prog.c_str(), points.size(), jobs,
-                 jobs == 1 ? "" : "s");
-    auto progress = [&](std::size_t done, std::size_t total,
-                        const SweepPointResult &r) {
+                 prog.c_str(), points.size(), eng.jobs(),
+                 eng.jobs() == 1 ? "" : "s");
+
+    engine::JobRequest req;
+    req.kind = engine::JobRequest::Kind::Sweep;
+    req.options = spec.base;
+    req.spec = spec;
+    req.jobs = opts.jobs;
+
+    engine::ExecHooks hooks;
+    // Finish-current-point semantics: the sweep loop polls this token
+    // between points, so Ctrl-C never truncates a point mid-flight.
+    hooks.cancel = &common::interruptFlag();
+    hooks.progress = [&](std::size_t done, std::size_t total,
+                         const SweepPointResult &r) {
         if (r.ok)
             std::fprintf(stderr, "  [%zu/%zu] %s / %s: %llu cycles\n",
                          done, total, r.result.app.c_str(),
@@ -133,29 +176,33 @@ runSweepMode(const DriverOptions &opts, const std::string &prog)
             std::fprintf(stderr, "  [%zu/%zu] FAILED: %s\n", done,
                          total, r.error.c_str());
     };
-    std::vector<SweepPointResult> results =
-        runSweep(points, jobs, progress);
+    engine::JobResult res = eng.execute(req, hooks);
 
-    std::string report =
-        sweepReportToJson(spec, results).dump(opts.json_indent) + "\n";
+    if (res.document.isNull()) {
+        // Nothing ran at all (e.g. a bad axis slipped past parse).
+        std::cerr << prog << ": " << res.error << "\n";
+        return res.usage_error ? 2 : 1;
+    }
+    std::string report = res.document.dump(opts.json_indent) + "\n";
     if (!writeReport(opts.output, report, prog))
         return 1;
     if (!opts.csv_output.empty() &&
-        !writeReport(opts.csv_output, sweepReportToCsv(results), prog))
+        !writeReport(opts.csv_output, sweepReportToCsv(res.sweep),
+                     prog))
         return 1;
 
-    bool failed = false, usage_error = false;
-    for (const auto &r : results) {
-        failed |= !r.ok;
-        usage_error |= r.usage_error;
+    if (res.interrupted) {
+        std::cerr << prog
+                  << ": interrupted; partial report flushed\n";
+        return kInterruptedExit;
     }
-    if (usage_error) {
+    if (res.usage_error) {
         // Same exit-2 contract as single-run mode: a bad dataset
         // name/file is a usage error, not a simulation failure.
         std::cerr << datasetHint() << "\n";
         return 2;
     }
-    return failed ? 1 : 0; // Report emitted; signal partial failure.
+    return res.ok ? 0 : 1; // Report emitted; signal partial failure.
 }
 
 } // namespace
@@ -209,6 +256,7 @@ main(int argc, char **argv)
         }
     }
 
+    capstan::common::installInterruptHandlers();
     try {
         if (parsed.options.dry_run &&
             !parsed.options.sweepRequested()) {
@@ -218,12 +266,6 @@ main(int argc, char **argv)
         return parsed.options.sweepRequested()
                    ? runSweepMode(parsed.options, prog)
                    : runSingle(parsed.options, prog);
-    } catch (const capstan::workloads::DatasetError &e) {
-        // Unknown names and missing/malformed dataset files are usage
-        // errors, not crashes: same exit-2 contract as flag parsing.
-        std::cerr << prog << ": " << e.what() << "\n"
-                  << datasetHint() << "\n";
-        return 2;
     } catch (const std::exception &e) {
         std::cerr << prog << ": " << e.what() << "\n";
         return 1;

@@ -1,0 +1,66 @@
+#include "common/interrupt.hpp"
+
+#include <csignal>
+
+namespace capstan::common {
+
+namespace {
+
+std::atomic<bool> g_interrupted{false};
+std::atomic<const std::atomic<bool> *> g_cancel_token{nullptr};
+
+extern "C" void
+interruptHandler(int sig)
+{
+    // Second delivery: restore the default disposition and re-raise,
+    // so a wedged process still dies to a repeated Ctrl-C. Everything
+    // here is async-signal-safe (lock-free atomics, signal, raise).
+    if (g_interrupted.exchange(true)) {
+        std::signal(sig, SIG_DFL);
+        std::raise(sig);
+    }
+}
+
+} // namespace
+
+void
+installInterruptHandlers()
+{
+    std::signal(SIGINT, interruptHandler);
+    std::signal(SIGTERM, interruptHandler);
+}
+
+bool
+interruptRequested()
+{
+    return g_interrupted.load(std::memory_order_relaxed);
+}
+
+std::atomic<bool> &
+interruptFlag()
+{
+    return g_interrupted;
+}
+
+void
+setCancelToken(const std::atomic<bool> *token)
+{
+    g_cancel_token.store(token, std::memory_order_release);
+}
+
+bool
+cancelRequested()
+{
+    const std::atomic<bool> *token =
+        g_cancel_token.load(std::memory_order_acquire);
+    return token != nullptr && token->load(std::memory_order_relaxed);
+}
+
+void
+pollCancel()
+{
+    if (cancelRequested())
+        throw CancelledError("interrupted");
+}
+
+} // namespace capstan::common

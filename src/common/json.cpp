@@ -195,7 +195,10 @@ namespace {
 class Parser
 {
   public:
-    explicit Parser(const std::string &text) : text_(text) {}
+    Parser(const std::string &text, const JsonLimits &limits)
+        : text_(text), limits_(limits)
+    {
+    }
 
     JsonValue parseDocument()
     {
@@ -345,8 +348,31 @@ class Parser
         return JsonValue(v);
     }
 
+    /**
+     * Recursion guard shared by parseObject/parseArray: depth_ tracks
+     * open containers; exceeding the limit is a structured parse
+     * error, not a stack overflow.
+     */
+    class DepthGuard
+    {
+      public:
+        explicit DepthGuard(Parser &p) : p_(p)
+        {
+            if (++p_.depth_ > p_.limits_.max_depth)
+                p_.fail("nesting depth exceeds limit (" +
+                        std::to_string(p_.limits_.max_depth) + ")");
+        }
+        ~DepthGuard() { --p_.depth_; }
+        DepthGuard(const DepthGuard &) = delete;
+        DepthGuard &operator=(const DepthGuard &) = delete;
+
+      private:
+        Parser &p_;
+    };
+
     JsonValue parseObject()
     {
+        DepthGuard guard(*this);
         expect('{');
         JsonValue obj = JsonValue::object();
         skipSpace();
@@ -372,6 +398,7 @@ class Parser
 
     JsonValue parseArray()
     {
+        DepthGuard guard(*this);
         expect('[');
         JsonValue arr = JsonValue::array();
         skipSpace();
@@ -392,7 +419,9 @@ class Parser
     }
 
     const std::string &text_;
+    JsonLimits limits_;
     std::size_t pos_ = 0;
+    int depth_ = 0;
 };
 
 } // namespace
@@ -400,7 +429,18 @@ class Parser
 JsonValue
 JsonValue::parse(const std::string &text)
 {
-    return Parser(text).parseDocument();
+    return parse(text, JsonLimits{});
+}
+
+JsonValue
+JsonValue::parse(const std::string &text, const JsonLimits &limits)
+{
+    if (limits.max_bytes > 0 && text.size() > limits.max_bytes)
+        throw JsonParseError(
+            "JSON parse error: document size " +
+            std::to_string(text.size()) + " exceeds limit (" +
+            std::to_string(limits.max_bytes) + " bytes)");
+    return Parser(text, limits).parseDocument();
 }
 
 } // namespace capstan::common

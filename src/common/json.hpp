@@ -34,6 +34,26 @@ class JsonParseError : public std::runtime_error
     }
 };
 
+/**
+ * Parse limits for untrusted input. The parser is recursive-descent,
+ * so nesting depth is bounded to keep adversarial documents (e.g.
+ * 100k open brackets over the capstan-serve socket) from overflowing
+ * the stack, and total size is bounded so one request cannot balloon
+ * the daemon. Violations throw JsonParseError with a structured
+ * "exceeds" message, the same error class as any other malformed
+ * document. The defaults cover every trusted file the repo parses
+ * (stats documents nest < 10 deep) with two orders of margin;
+ * `capstan-serve` passes much stricter wire limits
+ * (src/serve/server.hpp).
+ */
+struct JsonLimits
+{
+    /** Maximum document size in bytes; 0 = unlimited. */
+    std::size_t max_bytes = 0;
+    /** Maximum object/array nesting depth. */
+    int max_depth = 192;
+};
+
 /** A JSON document node. */
 class JsonValue
 {
@@ -95,6 +115,10 @@ class JsonValue
 
     /** Parse a complete document; throws JsonParseError. */
     static JsonValue parse(const std::string &text);
+
+    /** Parse under explicit limits (untrusted wire input). */
+    static JsonValue parse(const std::string &text,
+                           const JsonLimits &limits);
 
   private:
     explicit JsonValue(Kind k) : kind_(k) {}

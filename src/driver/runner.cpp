@@ -1,6 +1,7 @@
 #include "driver/runner.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <map>
 #include <memory>
@@ -49,6 +50,14 @@ defaultScale(const std::string &dataset)
 }
 
 namespace {
+
+/**
+ * Cache observability counters, shared by every GenerateOnceCache
+ * instance (driver::datasetCacheStats). Atomics are synchronization-
+ * free tallies only; they never influence results.
+ */
+std::atomic<std::uint64_t> g_cache_hits{0};
+std::atomic<std::uint64_t> g_cache_misses{0};
 
 struct DatasetKey
 {
@@ -106,9 +115,13 @@ template <typename T> class GenerateOnceCache
                 slot = std::make_shared<Entry>();
             entry = slot;
         }
+        bool generated = false;
         std::call_once(entry->once, [&] {
             entry->value = std::make_unique<T>(generate());
+            generated = true;
         });
+        (generated ? g_cache_misses : g_cache_hits)
+            .fetch_add(1, std::memory_order_relaxed);
         return *entry->value;
     }
 
@@ -142,6 +155,17 @@ cachedConv(const std::string &name, double scale)
     DatasetKey key{name, std::lround(scale * 1000)};
     return cache.get(key, [&] { return loadConvDataset(name, scale); });
 }
+
+} // namespace
+
+DatasetCacheStats
+datasetCacheStats()
+{
+    return {g_cache_hits.load(std::memory_order_relaxed),
+            g_cache_misses.load(std::memory_order_relaxed)};
+}
+
+namespace {
 
 sparse::DenseVector
 denseInput(Index n)

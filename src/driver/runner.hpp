@@ -125,6 +125,20 @@ struct RunResult
 RunResult runDriver(const DriverOptions &opts);
 
 /**
+ * Process-lifetime counters over the generate-once dataset caches
+ * (matrix, conv, and M+M transpose). A hit is a lookup that found the
+ * entry already generated; a miss paid (or waited on) generation. The
+ * engine and `capstan-serve` surface these so warm-cache sharing
+ * across jobs is observable (docs/SERVE_PROTOCOL.md).
+ */
+struct DatasetCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+};
+DatasetCacheStats datasetCacheStats();
+
+/**
  * Serialize a result to the driver's JSON stats schema: run identity,
  * machine configuration, cycle/runtime totals, lane-occupancy classes,
  * DRAM traffic, and aggregate SpMU behaviour.

@@ -222,22 +222,46 @@ std::vector<SweepPointResult>
 runSweep(const std::vector<DriverOptions> &points, int jobs,
          const SweepProgress &progress)
 {
+    SweepExec exec;
+    exec.jobs = jobs;
+    exec.progress = progress;
+    return runSweep(points, exec);
+}
+
+std::vector<SweepPointResult>
+runSweep(const std::vector<DriverOptions> &points,
+         const SweepExec &exec)
+{
     std::vector<SweepPointResult> results(points.size());
     if (points.empty())
         return results;
 
-    std::size_t workers = static_cast<std::size_t>(resolveJobs(jobs));
+    std::size_t workers =
+        static_cast<std::size_t>(resolveJobs(exec.jobs));
     workers = std::min(workers, points.size());
+    if (exec.pool)
+        workers = std::min(
+            workers, static_cast<std::size_t>(exec.pool->workers()));
 
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
     std::mutex progress_mutex;
+    // Which points a worker claimed; per-index slots, written before
+    // the point runs so an unclaimed index is exactly a skipped point.
+    std::vector<unsigned char> claimed(points.size(), 0);
 
     auto work = [&]() {
         while (true) {
+            // Cooperative cancellation: finish the in-flight point,
+            // never claim another. Unclaimed points are marked
+            // skipped after the join below.
+            if (exec.cancel &&
+                exec.cancel->load(std::memory_order_relaxed))
+                return;
             std::size_t i = next.fetch_add(1);
             if (i >= points.size())
                 return;
+            claimed[i] = 1;
             SweepPointResult &r = results[i];
             r.options = points[i];
             try {
@@ -250,22 +274,39 @@ runSweep(const std::vector<DriverOptions> &points, int jobs,
                 r.error = e.what();
             }
             std::size_t finished = done.fetch_add(1) + 1;
-            if (progress) {
+            if (exec.progress) {
                 std::lock_guard<std::mutex> lock(progress_mutex);
-                progress(finished, points.size(), r);
+                exec.progress(finished, points.size(), r);
             }
         }
     };
 
     if (workers == 1) {
         work(); // Keep single-job sweeps debuggable: no threads at all.
+    } else if (exec.pool) {
+        // One dispatch slot per worker; each slot drains the shared
+        // claim counter. All writes are per-index (claimed[i],
+        // results[i]), per the pool's determinism contract.
+        exec.pool->run(static_cast<int>(workers),
+                       [&](int begin, int end, int) {
+                           for (int s = begin; s < end; ++s)
+                               work();
+                       });
     } else {
-        std::vector<std::thread> pool;
-        pool.reserve(workers);
+        std::vector<std::thread> threads;
+        threads.reserve(workers);
         for (std::size_t t = 0; t < workers; ++t)
-            pool.emplace_back(work);
-        for (auto &t : pool)
+            threads.emplace_back(work);
+        for (auto &t : threads)
             t.join();
+    }
+
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (claimed[i])
+            continue;
+        results[i].options = points[i];
+        results[i].skipped = true;
+        results[i].error = "interrupted: point not run";
     }
     return results;
 }
@@ -314,13 +355,19 @@ JsonValue
 sweepReportToJson(const SweepSpec &spec,
                   const std::vector<SweepPointResult> &results)
 {
-    std::size_t failed = 0;
-    for (const auto &r : results)
+    std::size_t failed = 0, skipped = 0;
+    for (const auto &r : results) {
         failed += r.ok ? 0 : 1;
+        skipped += r.skipped ? 1 : 0;
+    }
 
     JsonValue meta = JsonValue::object();
     meta.set("points", static_cast<std::int64_t>(results.size()));
     meta.set("failed", static_cast<std::int64_t>(failed));
+    // Only interrupted (cancelled) sweeps carry the marker, so
+    // completed reports stay byte-identical with earlier versions.
+    if (skipped > 0)
+        meta.set("interrupted", true);
     meta.set("axes", spec.toJson());
 
     JsonValue items = JsonValue::array();
@@ -331,6 +378,8 @@ sweepReportToJson(const SweepSpec &spec,
             JsonValue entry = JsonValue::object();
             entry.set("point", pointToJson(r.options));
             entry.set("error", r.error);
+            if (r.skipped)
+                entry.set("skipped", true);
             items.push(std::move(entry));
         }
     }

@@ -25,12 +25,14 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "common/json.hpp"
+#include "common/parallel.hpp"
 #include "driver/options.hpp"
 #include "driver/runner.hpp"
 
@@ -106,11 +108,47 @@ struct SweepPointResult
      * exit 2 and the dataset hint, matching single-run mode.
      */
     bool usage_error = false;
+    /**
+     * The point never ran: a cancel token fired before a worker
+     * claimed it (SweepExec::cancel). Skipped points carry
+     * error = "interrupted: point not run" and render as skipped
+     * entries in an `"interrupted": true` report
+     * (docs/OUTPUT_SCHEMA.md).
+     */
+    bool skipped = false;
 };
 
 /** Called after each point completes; @p done counts finished points. */
 using SweepProgress = std::function<void(
     std::size_t done, std::size_t total, const SweepPointResult &)>;
+
+/**
+ * How a sweep executes: worker count, an optional persistent pool, an
+ * optional cancel token, and an optional progress callback. The
+ * default-constructed value reproduces the classic
+ * runSweep(points, 0, {}) behavior exactly.
+ */
+struct SweepExec
+{
+    /** Worker threads (resolveJobs contract; 0 = all cores). */
+    int jobs = 0;
+    /**
+     * Persistent worker pool to dispatch on instead of spawning
+     * threads per call (the engine's pool, shared across jobs so a
+     * daemon does not churn threads). The effective worker count is
+     * clamped to the pool's size; results are byte-identical either
+     * way.
+     */
+    common::WorkerPool *pool = nullptr;
+    /**
+     * Cooperative cancel token. Workers poll it before claiming the
+     * next point: in-flight points finish, unclaimed points come back
+     * `skipped`. Null = never cancelled.
+     */
+    const std::atomic<bool> *cancel = nullptr;
+    /** Called after each point completes; serialized by a mutex. */
+    SweepProgress progress;
+};
 
 /**
  * Execute @p points on @p jobs worker threads (0 = all cores). Results
@@ -121,6 +159,11 @@ using SweepProgress = std::function<void(
 std::vector<SweepPointResult>
 runSweep(const std::vector<DriverOptions> &points, int jobs = 0,
          const SweepProgress &progress = {});
+
+/** As above, under an explicit execution environment. */
+std::vector<SweepPointResult>
+runSweep(const std::vector<DriverOptions> &points,
+         const SweepExec &exec);
 
 /**
  * Worker-thread count a `--jobs` value resolves to. The contract is

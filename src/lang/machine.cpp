@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "common/env.hpp"
+#include "common/interrupt.hpp"
 
 namespace capstan::lang {
 
@@ -615,6 +616,13 @@ Machine::runPhase(Cycle max_cycles)
     };
 
     while (workRemains()) {
+        // Cooperative cancellation (common/interrupt.hpp): the engine
+        // arms a token around each job; polling it here lets
+        // capstan-serve abort an in-flight simulation at a step
+        // boundary. One relaxed pointer load when no token is armed —
+        // and results are byte-identical whenever the poll does not
+        // throw.
+        common::pollCancel();
         CAPSTAN_CHECK(now_ - start <= max_cycles,
                       "Machine::runPhase exceeded its watchdog: the "
                       "phase is not draining");

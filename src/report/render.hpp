@@ -34,8 +34,10 @@ struct StudyRun
     std::string error;  //!< what() when !ok.
     StudyResult result; //!< Valid when ok.
     StudyCheck check;   //!< Against the reference, when one was given.
+    /** The study was cancelled (StudyInterrupted), not broken. */
+    bool interrupted = false;
 
-    /** "pass", "deviation", "unchecked", or "error". */
+    /** "pass", "deviation", "unchecked", "interrupted", or "error". */
     std::string verdict() const;
 };
 

@@ -10,10 +10,20 @@ std::vector<driver::SweepPointResult>
 StudyContext::sweep(
     const std::vector<driver::DriverOptions> &points) const
 {
-    auto results = driver::runSweep(points, jobs, progress);
+    driver::SweepExec exec;
+    exec.jobs = jobs;
+    exec.pool = pool;
+    exec.cancel = cancel;
+    exec.progress = progress;
+    auto results = driver::runSweep(points, exec);
     std::size_t failed = 0;
     std::string detail;
     for (const auto &r : results) {
+        // Skipped points (cancel fired before the claim) and points
+        // unwound by the machine-level cancel poll both mean the
+        // study was interrupted, not broken.
+        if (r.skipped || (!r.ok && r.error == "interrupted"))
+            throw StudyInterrupted();
         if (r.ok)
             continue;
         ++failed;

@@ -22,15 +22,34 @@
 
 #pragma once
 
+#include <atomic>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "driver/runner.hpp"
 #include "driver/sweep.hpp"
 #include "report/reference.hpp"
 
 namespace capstan::report {
+
+/**
+ * Thrown by StudyContext::sweep when the context's cancel token fired
+ * before the study's points all ran: the study was interrupted, not
+ * broken. Callers (engine, capstan-report) map it to an
+ * `"interrupted"` verdict instead of an error.
+ */
+class StudyInterrupted : public std::runtime_error
+{
+  public:
+    StudyInterrupted()
+        : std::runtime_error("interrupted: study cancelled before "
+                             "its sweep completed")
+    {
+    }
+};
 
 /** One rendered table of a study (most studies have exactly one). */
 struct StudyTable
@@ -70,6 +89,10 @@ struct StudyContext
     int jobs = 0;                //!< Sweep workers; 0 = all cores.
     const Reference *reference = nullptr; //!< May be null.
     driver::SweepProgress progress;       //!< Optional, for stderr.
+    /** Persistent sweep pool (the engine's); null = spawn per call. */
+    common::WorkerPool *pool = nullptr;
+    /** Cancel token; sweep() throws StudyInterrupted when it fires. */
+    const std::atomic<bool> *cancel = nullptr;
 
     /**
      * Execute expanded sweep points on the driver's thread pool and

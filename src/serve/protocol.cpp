@@ -1,0 +1,213 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <initializer_list>
+
+namespace capstan::serve {
+
+namespace {
+
+using common::JsonParseError;
+
+std::int64_t
+requireId(const JsonValue &v, const char *what)
+{
+    if (!v.isNumber() || v.asNumber() != std::floor(v.asNumber()))
+        throw ProtocolError("bad_request",
+                            std::string(what) +
+                                " must be an integer");
+    double n = v.asNumber();
+    if (n < 0 || n > 9e15)
+        throw ProtocolError("bad_request",
+                            std::string(what) + " is out of range");
+    return static_cast<std::int64_t>(n);
+}
+
+void
+rejectUnknownMembers(const JsonValue &doc,
+                     std::initializer_list<const char *> keys)
+{
+    for (const auto &[key, value] : doc.members()) {
+        (void)value;
+        bool known = false;
+        for (const char *k : keys)
+            known |= key == k;
+        if (!known)
+            throw ProtocolError("bad_request",
+                                "unknown request member \"" + key +
+                                    "\"");
+    }
+}
+
+} // namespace
+
+Request
+parseRequest(const std::string &line, const common::JsonLimits &limits)
+{
+    JsonValue doc;
+    try {
+        doc = JsonValue::parse(line, limits);
+    } catch (const JsonParseError &e) {
+        throw ProtocolError("parse_error", e.what());
+    }
+    if (!doc.isObject())
+        throw ProtocolError("bad_request",
+                            "request must be a JSON object");
+
+    Request req;
+    if (doc.contains("id"))
+        req.id = requireId(doc.at("id"), "\"id\"");
+
+    if (!doc.contains("op") || !doc.at("op").isString())
+        throw ProtocolError(
+            "bad_request",
+            "request needs an \"op\" string member: "
+            "submit|cancel|stats|ping|shutdown");
+    const std::string &op = doc.at("op").asString();
+
+    if (op == "submit") {
+        req.op = Request::Op::Submit;
+        rejectUnknownMembers(doc, {"op", "id", "job"});
+        if (!doc.contains("job") || !doc.at("job").isObject())
+            throw ProtocolError(
+                "bad_request",
+                "submit needs a \"job\" object member");
+        req.job = doc.at("job");
+    } else if (op == "cancel") {
+        req.op = Request::Op::Cancel;
+        rejectUnknownMembers(doc, {"op", "id", "job_id"});
+        if (!doc.contains("job_id"))
+            throw ProtocolError(
+                "bad_request",
+                "cancel needs a \"job_id\" integer member");
+        req.job_id = requireId(doc.at("job_id"), "\"job_id\"");
+    } else if (op == "stats") {
+        req.op = Request::Op::Stats;
+        rejectUnknownMembers(doc, {"op", "id"});
+    } else if (op == "ping") {
+        req.op = Request::Op::Ping;
+        rejectUnknownMembers(doc, {"op", "id"});
+    } else if (op == "shutdown") {
+        req.op = Request::Op::Shutdown;
+        rejectUnknownMembers(doc, {"op", "id"});
+    } else {
+        throw ProtocolError("unknown_op",
+                            "unknown op \"" + op +
+                                "\" (submit|cancel|stats|ping|"
+                                "shutdown)");
+    }
+    return req;
+}
+
+namespace {
+
+JsonValue
+event(const char *name, std::optional<std::int64_t> id)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("event", name);
+    if (id)
+        doc.set("id", *id);
+    return doc;
+}
+
+} // namespace
+
+JsonValue
+eventError(const std::string &code, const std::string &message,
+           std::optional<std::int64_t> id)
+{
+    JsonValue doc = event("error", id);
+    doc.set("code", code);
+    doc.set("message", message);
+    return doc;
+}
+
+JsonValue
+eventAccepted(std::optional<std::int64_t> id, std::int64_t job_id,
+              int queue_depth)
+{
+    JsonValue doc = event("accepted", id);
+    doc.set("job_id", job_id);
+    doc.set("queue_depth", queue_depth);
+    return doc;
+}
+
+JsonValue
+eventRejected(std::optional<std::int64_t> id, const std::string &code,
+              const std::string &message)
+{
+    JsonValue doc = event("rejected", id);
+    doc.set("code", code);
+    doc.set("message", message);
+    return doc;
+}
+
+JsonValue
+eventStarted(std::int64_t job_id)
+{
+    JsonValue doc = event("started", std::nullopt);
+    doc.set("job_id", job_id);
+    return doc;
+}
+
+JsonValue
+eventProgress(std::int64_t job_id, std::size_t done,
+              std::size_t total,
+              const driver::SweepPointResult &point)
+{
+    JsonValue doc = event("progress", std::nullopt);
+    doc.set("job_id", job_id);
+    doc.set("done", static_cast<std::int64_t>(done));
+    doc.set("total", static_cast<std::int64_t>(total));
+    doc.set("app", point.options.app);
+    doc.set("dataset", point.ok ? point.result.dataset
+                                : point.options.dataset);
+    doc.set("ok", point.ok);
+    if (!point.ok)
+        doc.set("error", point.error);
+    return doc;
+}
+
+JsonValue
+eventResult(std::int64_t job_id, const engine::JobResult &result)
+{
+    JsonValue doc = event("result", std::nullopt);
+    doc.set("job_id", job_id);
+    doc.set("ok", result.ok);
+    if (result.interrupted)
+        doc.set("interrupted", true);
+    if (result.usage_error)
+        doc.set("usage_error", true);
+    if (!result.error.empty())
+        doc.set("error", result.error);
+    // "stats" is deliberately the final member: the event line ends
+    // with `"stats":<document>}`, so slicing it yields the exact bytes
+    // the CLI front-end would have printed (byte-identity contract).
+    doc.set("stats", result.document);
+    return doc;
+}
+
+JsonValue
+eventCancelled(std::optional<std::int64_t> id, std::int64_t job_id,
+               const std::string &state)
+{
+    JsonValue doc = event("cancelled", id);
+    doc.set("job_id", job_id);
+    doc.set("state", state);
+    return doc;
+}
+
+JsonValue
+eventPong(std::optional<std::int64_t> id)
+{
+    return event("pong", id);
+}
+
+JsonValue
+eventShutdown(std::optional<std::int64_t> id)
+{
+    return event("shutdown", id);
+}
+
+} // namespace capstan::serve

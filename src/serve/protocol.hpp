@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The `capstan-serve` wire protocol: newline-delimited JSON over a
+ * local Unix socket (docs/SERVE_PROTOCOL.md is the normative spec).
+ *
+ * Each request is one JSON object on one line; each reply or streamed
+ * event is likewise one object on one line, tagged with an `"event"`
+ * member. This layer is pure — it parses request lines (under the
+ * strict wire JsonLimits the server configures) and builds event
+ * documents, with no sockets involved — so tests/test_serve.cpp can
+ * exercise every malformed-input path without a connection.
+ *
+ * Error taxonomy: anything wrong with a request line maps to a
+ * ProtocolError carrying a stable machine-readable code
+ * ("parse_error", "bad_request", "unknown_op"); the server renders it
+ * as an `{"event": "error", "code": ..., "message": ...}` line and
+ * keeps the connection open (the stream stays line-synchronized
+ * because requests are newline-delimited).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "common/json.hpp"
+#include "engine/engine.hpp"
+
+namespace capstan::serve {
+
+using common::JsonValue;
+
+/** A malformed request line, with a stable wire code. */
+class ProtocolError : public std::runtime_error
+{
+  public:
+    ProtocolError(std::string code, const std::string &message)
+        : std::runtime_error(message), code_(std::move(code))
+    {
+    }
+
+    /** "parse_error", "bad_request", or "unknown_op". */
+    const std::string &code() const { return code_; }
+
+  private:
+    std::string code_;
+};
+
+/** One parsed request line. */
+struct Request
+{
+    enum class Op { Submit, Cancel, Stats, Ping, Shutdown };
+
+    Op op = Op::Ping;
+
+    /** Client-chosen echo tag, copied onto the direct reply. */
+    std::optional<std::int64_t> id;
+
+    /** Submit: the job document (engine::JobRequest::fromJson form). */
+    JsonValue job;
+
+    /** Cancel: the server-assigned job to cancel. */
+    std::int64_t job_id = 0;
+};
+
+/**
+ * Parse one request line under wire limits. Throws ProtocolError:
+ * "parse_error" for malformed/oversized/too-deep JSON, "bad_request"
+ * for a well-formed document with the wrong shape, "unknown_op" for an
+ * op this protocol version does not know.
+ */
+Request parseRequest(const std::string &line,
+                     const common::JsonLimits &limits);
+
+/** `{"event": "error", ...}` — the line could not be honored. */
+JsonValue eventError(const std::string &code,
+                     const std::string &message,
+                     std::optional<std::int64_t> id);
+
+/** `{"event": "accepted", ...}` — job admitted to the queue. */
+JsonValue eventAccepted(std::optional<std::int64_t> id,
+                        std::int64_t job_id, int queue_depth);
+
+/**
+ * `{"event": "rejected", ...}` — admission control refused the job
+ * (@p code is "queue_full" or "shutting_down").
+ */
+JsonValue eventRejected(std::optional<std::int64_t> id,
+                        const std::string &code,
+                        const std::string &message);
+
+/** `{"event": "started", ...}` — the executor picked the job up. */
+JsonValue eventStarted(std::int64_t job_id);
+
+/** `{"event": "progress", ...}` — one sweep/study point finished. */
+JsonValue eventProgress(std::int64_t job_id, std::size_t done,
+                        std::size_t total,
+                        const driver::SweepPointResult &point);
+
+/**
+ * `{"event": "result", ...}` — terminal event of an executed job.
+ * The job's JSON document is the *last* member (`"stats"`), so its
+ * bytes are exactly `document.dump()` — clients diff it against CLI
+ * output directly (tests/test_serve.cpp, scripts/serve_smoke.py).
+ */
+JsonValue eventResult(std::int64_t job_id,
+                      const engine::JobResult &result);
+
+/**
+ * `{"event": "cancelled", ...}` — reply to a cancel op. @p state says
+ * what the job was doing: "queued" (removed, will never run),
+ * "running" (token fired; an interrupted result event follows),
+ * "finished", or "unknown".
+ */
+JsonValue eventCancelled(std::optional<std::int64_t> id,
+                         std::int64_t job_id,
+                         const std::string &state);
+
+/** `{"event": "pong", ...}` — liveness reply. */
+JsonValue eventPong(std::optional<std::int64_t> id);
+
+/** `{"event": "shutdown"}` — the daemon is draining and will exit. */
+JsonValue eventShutdown(std::optional<std::int64_t> id);
+
+} // namespace capstan::serve
